@@ -1,0 +1,137 @@
+package braid
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates its artifact over the full 26-benchmark suite and reports the
+// headline number next to the paper's value, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. The suite is prepared once and shared;
+// use cmd/braidbench for the full per-benchmark tables.
+
+import (
+	"sync"
+	"testing"
+
+	"braid/internal/experiments"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Workloads
+	suiteErr  error
+)
+
+// benchDynTarget keeps `go test -bench=.` affordable; cmd/braidbench
+// defaults to larger runs.
+const benchDynTarget = 15000
+
+func loadSuite(b *testing.B) *experiments.Workloads {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = experiments.LoadSuite(benchDynTarget)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+// runExperiment executes one experiment per iteration and reports its
+// claims as benchmark metrics (measured vs paper).
+func runExperiment(b *testing.B, id string) {
+	w := loadSuite(b)
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.StopTimer()
+			for _, c := range res.Claims {
+				b.ReportMetric(c.Measured, "measured:"+metricName(c.Desc))
+				b.ReportMetric(c.Paper, "paper:"+metricName(c.Desc))
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func metricName(desc string) string {
+	out := make([]rune, 0, len(desc))
+	for _, r := range desc {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ':
+			out = append(out, '_')
+		}
+		if len(out) >= 40 {
+			break
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkValueCharacterization regenerates the §1 motivation numbers
+// (fanout, lifetime).
+func BenchmarkValueCharacterization(b *testing.B) { runExperiment(b, "values") }
+
+// BenchmarkFig1WidthPotential regenerates Figure 1: 8- and 16-wide speedup
+// over 4-wide with a perfect front end.
+func BenchmarkFig1WidthPotential(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkTable1BraidsPerBlock regenerates Table 1.
+func BenchmarkTable1BraidsPerBlock(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2SizeWidth regenerates Table 2.
+func BenchmarkTable2SizeWidth(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3InputsOutputs regenerates Table 3.
+func BenchmarkTable3InputsOutputs(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig5OoORegisters regenerates Figure 5: conventional IPC vs
+// register-file entries.
+func BenchmarkFig5OoORegisters(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6ExternalRegisters regenerates Figure 6: braid IPC vs external
+// register-file entries.
+func BenchmarkFig6ExternalRegisters(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7RegisterPorts regenerates Figure 7: braid IPC vs external
+// register-file ports.
+func BenchmarkFig7RegisterPorts(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8Bypass regenerates Figure 8: braid IPC vs bypass paths.
+func BenchmarkFig8Bypass(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9BEUs regenerates Figure 9: braid IPC vs the number of BEUs.
+func BenchmarkFig9BEUs(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10FIFOSize regenerates Figure 10: braid IPC vs BEU FIFO depth.
+func BenchmarkFig10FIFOSize(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Window regenerates Figure 11: braid IPC vs the in-order
+// scheduling window.
+func BenchmarkFig11Window(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12WindowFUs regenerates Figure 12: braid IPC vs window size
+// and functional units varied together.
+func BenchmarkFig12WindowFUs(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13Paradigms regenerates Figure 13: the four paradigms at 4-,
+// 8-, and 16-wide.
+func BenchmarkFig13Paradigms(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14EqualFU regenerates Figure 14: equal functional-unit budget,
+// BEU count vs per-BEU width.
+func BenchmarkFig14EqualFU(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkPipelineShortening regenerates the §5.1 claim: the gain from the
+// 4-stage-shorter braid pipeline.
+func BenchmarkPipelineShortening(b *testing.B) { runExperiment(b, "pipeline") }

@@ -1,0 +1,156 @@
+// Package braid is a Go reproduction of "Achieving Out-of-Order Performance
+// with Almost In-Order Complexity" (Tseng & Patt, ISCA 2008).
+//
+// It bundles, behind one facade:
+//
+//   - the BRD64 instruction set with the paper's braid ISA bits and an
+//     assembler (ParseAsm / FormatAsm);
+//   - the braid compiler (Compile), which partitions each basic block's
+//     dataflow graph into braids, reorders and splits them, allocates
+//     internal registers, and re-encodes the program;
+//   - an architectural interpreter (Run) used as the correctness oracle;
+//   - cycle-level simulators (Simulate) for the braid microarchitecture and
+//     the in-order, dependence-steering, and out-of-order baselines;
+//   - the 26 synthetic SPEC CPU2000 stand-in benchmarks
+//     (GenerateBenchmark) parameterized by the paper's Tables 1-3;
+//   - the complete experiment suite (Experiments) regenerating every table
+//     and figure of the paper's evaluation.
+//
+// See README.md for a tour and DESIGN.md for the reproduction methodology.
+package braid
+
+import (
+	"fmt"
+
+	"braid/internal/asm"
+	braidc "braid/internal/braid"
+	"braid/internal/experiments"
+	"braid/internal/interp"
+	"braid/internal/isa"
+	"braid/internal/uarch"
+	"braid/internal/workload"
+)
+
+// Program is a BRD64 program: instructions plus an initial data segment.
+type Program = isa.Program
+
+// Instruction is one decoded BRD64 instruction, including the braid ISA
+// extension bits (S, T, I, E).
+type Instruction = isa.Instruction
+
+// ParseAsm assembles BRD64 assembly text (see internal/asm for the syntax).
+func ParseAsm(src string) (*Program, error) { return asm.Parse(src) }
+
+// FormatAsm renders a program as assembly text that ParseAsm accepts,
+// including braid annotations.
+func FormatAsm(p *Program) string { return asm.Format(p) }
+
+// CompileOptions configures braid compilation.
+type CompileOptions = braidc.Options
+
+// Compiled is a braided program together with its braid structure,
+// statistics, and split counters.
+type Compiled = braidc.Result
+
+// Compile runs the braid compiler: it identifies braids (connected dataflow
+// subgraphs within each basic block), reorders each block so braids are
+// consecutive with the branch braid last, splits braids that violate memory
+// ordering or exceed the internal register file, classifies values as
+// internal/external, and sets the braid ISA bits.
+func Compile(p *Program, opts CompileOptions) (*Compiled, error) {
+	return braidc.Compile(p, opts)
+}
+
+// FinalState is the architectural outcome of a program run.
+type FinalState = interp.FinalState
+
+// Run executes p functionally to completion (at most maxSteps dynamic
+// instructions) and returns the final architectural state.
+func Run(p *Program, maxSteps uint64) (FinalState, error) {
+	return interp.RunProgram(p, maxSteps)
+}
+
+// MachineConfig is a full simulator configuration (Table 4 and sweeps).
+type MachineConfig = uarch.Config
+
+// MachineStats is the result of one simulation.
+type MachineStats = uarch.Stats
+
+// The four machine configurations of the paper, scaled by issue width:
+//
+//	OutOfOrder: Table 4's aggressive conventional design
+//	Braid:      Table 4's braid microarchitecture
+//	InOrder:    the in-order baseline of Figure 13
+//	DepSteer:   Palacharla-style dependence-based FIFO steering
+func OutOfOrder(width int) MachineConfig { return uarch.OutOfOrderConfig(width) }
+
+// Braid returns the braid microarchitecture configuration (run it on a
+// Compile()d program).
+func Braid(width int) MachineConfig { return uarch.BraidConfig(width) }
+
+// InOrder returns the in-order baseline configuration.
+func InOrder(width int) MachineConfig { return uarch.InOrderConfig(width) }
+
+// DepSteer returns the dependence-steering baseline configuration.
+func DepSteer(width int) MachineConfig { return uarch.DepSteerConfig(width) }
+
+// Simulate runs p on the given machine and returns cycle-level statistics.
+// Programs compiled with Compile belong on Braid configurations; original
+// programs on the others.
+func Simulate(p *Program, cfg MachineConfig) (*MachineStats, error) {
+	return uarch.Simulate(p, cfg)
+}
+
+// Benchmarks lists the 26 synthetic SPEC CPU2000 stand-ins (12 integer, 14
+// floating-point), in the paper's order.
+func Benchmarks() []string {
+	var names []string
+	for _, p := range workload.Profiles() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// GenerateBenchmark builds the named synthetic benchmark sized to the given
+// main-loop iteration count.
+func GenerateBenchmark(name string, iterations int) (*Program, error) {
+	prof, ok := workload.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("braid: unknown benchmark %q", name)
+	}
+	return workload.Generate(prof, iterations)
+}
+
+// Kernel returns a built-in hand-written kernel: "fig2" (the paper's Figure
+// 2 gcc block), "dot", "list", "matmul", or "copy".
+func Kernel(name string) (*Program, error) {
+	p, ok := workload.KernelByName(name)
+	if !ok {
+		return nil, fmt.Errorf("braid: unknown kernel %q", name)
+	}
+	return p, nil
+}
+
+// Experiments lists the paper's tables and figures as runnable experiments;
+// LoadExperimentSuite prepares the benchmark suite they consume.
+func Experiments() []experiments.Experiment { return experiments.All() }
+
+// ComplexityReport quantifies the paper's §5.1 structure-complexity
+// comparison (register files, schedulers, bypass, checkpoints) for the four
+// machines at the given width, using the port-squared and broadcast proxies
+// the paper cites.
+func ComplexityReport(width int) string { return uarch.ComplexityReport(width) }
+
+// Ablations lists the extra studies that isolate this reproduction's design
+// choices (dead-value release, busy-bit latency, §5.2 clustering, alias
+// information, internal file size, out-of-order BEU windows).
+func Ablations() []experiments.Experiment { return experiments.Ablations() }
+
+// ExperimentSuite is the prepared 26-benchmark suite.
+type ExperimentSuite = experiments.Workloads
+
+// LoadExperimentSuite generates and braids all benchmarks, sized to about
+// dynTarget dynamic instructions each.
+func LoadExperimentSuite(dynTarget uint64) (*ExperimentSuite, error) {
+	return experiments.LoadSuite(dynTarget)
+}

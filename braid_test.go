@@ -1,0 +1,120 @@
+package braid
+
+import "testing"
+
+// TestFacade exercises the public API end to end: assemble, compile,
+// verify, simulate.
+func TestFacade(t *testing.T) {
+	src := `
+.name facade
+.data 64
+	ldimm r1, #65536
+	ldimm r6, #20
+loop:
+	add  r2, r6, #3
+	mul  r3, r2, r2
+	stq  r3, 0(r1)   !ac=1
+	sub  r6, r6, #1
+	bgt  r6, loop
+	halt
+`
+	p, err := ParseAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(p, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Braids) == 0 {
+		t.Fatal("no braids found")
+	}
+	if err := c.VerifyInvariants(p); err != nil {
+		t.Fatal(err)
+	}
+
+	fo, err := Run(p, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Run(c.Prog, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo.MemHash != fb.MemHash {
+		t.Fatal("braided program diverged")
+	}
+
+	text := FormatAsm(c.Prog)
+	if _, err := ParseAsm(text); err != nil {
+		t.Fatalf("braided assembly does not re-parse: %v", err)
+	}
+
+	for _, cfg := range []MachineConfig{InOrder(8), DepSteer(8), OutOfOrder(8)} {
+		st, err := Simulate(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Retired != fo.Steps {
+			t.Fatalf("%s retired %d, want %d", cfg.Core, st.Retired, fo.Steps)
+		}
+	}
+	st, err := Simulate(c.Prog, Braid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != fo.Steps {
+		t.Fatalf("braid retired %d, want %d", st.Retired, fo.Steps)
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 26 {
+		t.Fatalf("benchmarks = %d, want 26", len(names))
+	}
+	p, err := GenerateBenchmark("gcc", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "gcc" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if _, err := GenerateBenchmark("nope", 10); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	k, err := Kernel("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "fig2" {
+		t.Errorf("kernel name = %q", k.Name)
+	}
+	if _, err := Kernel("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"values", "fig1", "table1", "table2", "table3",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "pipeline"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}

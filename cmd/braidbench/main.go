@@ -1,0 +1,93 @@
+// Command braidbench regenerates every table and figure of the paper's
+// evaluation. With no flags it runs all experiments and prints text tables;
+// -exp selects one experiment, -md emits markdown (used to build
+// EXPERIMENTS.md), and -dyn sets the per-benchmark dynamic instruction
+// budget.
+//
+// Usage:
+//
+//	braidbench [-exp id] [-dyn N] [-md] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"braid/internal/experiments"
+	"braid/internal/uarch"
+)
+
+func main() {
+	var (
+		expID      = flag.String("exp", "", "run a single experiment (see -list)")
+		dyn        = flag.Uint64("dyn", 30000, "dynamic instructions per benchmark")
+		md         = flag.Bool("md", false, "emit markdown instead of text tables")
+		csv        = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		ablations  = flag.Bool("ablations", false, "run the ablation studies instead of the paper artifacts")
+		complexity = flag.Bool("complexity", false, "print the §5.1 structure-complexity comparison and exit")
+	)
+	flag.Parse()
+
+	if *complexity {
+		fmt.Print(uarch.ComplexityReport(8))
+		return
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		for _, e := range experiments.Ablations() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []experiments.Experiment
+	switch {
+	case *expID != "":
+		e, ok := experiments.ByID(*expID)
+		if !ok {
+			e, ok = experiments.AblationByID(*expID)
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "braidbench: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	case *ablations:
+		todo = experiments.Ablations()
+	default:
+		todo = experiments.All()
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "braidbench: preparing 26-benchmark suite (~%d dynamic instructions each)\n", *dyn)
+	w, err := experiments.LoadSuite(*dyn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "braidbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "braidbench: suite ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	for _, e := range todo {
+		t0 := time.Now()
+		res, err := e.Run(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braidbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch {
+		case *md:
+			fmt.Print(res.Markdown())
+		case *csv:
+			fmt.Printf("# %s: %s\n%s\n", res.ID, res.Title, res.CSV())
+		default:
+			fmt.Println(res.String())
+		}
+		fmt.Fprintf(os.Stderr, "braidbench: %s done in %v\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,136 @@
+// Command braidcc is the braid compiler driver: it assembles a BRD64
+// program (or takes a built-in kernel / generated benchmark), identifies
+// braids, reorders and re-encodes the program with the braid ISA bits, and
+// writes the braided assembly plus a compilation report.
+//
+// Usage:
+//
+//	braidcc file.s            braid an assembly file to stdout
+//	braidcc -kernel fig2      braid a built-in kernel
+//	braidcc -bench gcc        braid a generated benchmark
+//	braidcc -stats file.s     print the braid statistics only
+//	braidcc -verify file.s    also run original and braided code and
+//	                          compare the final memory images
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"braid/internal/asm"
+	"braid/internal/braid"
+	"braid/internal/interp"
+	"braid/internal/isa"
+	"braid/internal/workload"
+)
+
+func main() {
+	var (
+		kernel    = flag.String("kernel", "", "use a built-in kernel (fig2, dot, list)")
+		bench     = flag.String("bench", "", "use a generated benchmark (e.g. gcc)")
+		iters     = flag.Int("iters", 50, "benchmark loop iterations with -bench")
+		statsOnly = flag.Bool("stats", false, "print statistics instead of assembly")
+		verify    = flag.Bool("verify", false, "check original/braided equivalence")
+		maxInt    = flag.Int("internal", 8, "internal registers available to a braid")
+		out       = flag.String("o", "", "write a binary .brd image instead of assembly")
+		dot       = flag.Int("dot", -1, "emit a Graphviz dataflow graph of the given basic block (Figure 2(c) style)")
+	)
+	flag.Parse()
+
+	p, err := loadProgram(*kernel, *bench, *iters, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := braid.Compile(p, braid.Options{MaxInternal: *maxInt})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verify {
+		fo, err := interp.RunProgram(p, 100_000_000)
+		if err != nil {
+			fatal(fmt.Errorf("running original: %w", err))
+		}
+		fb, err := interp.RunProgram(res.Prog, 100_000_000)
+		if err != nil {
+			fatal(fmt.Errorf("running braided: %w", err))
+		}
+		if fo.MemHash != fb.MemHash {
+			fatal(fmt.Errorf("verification FAILED: memory images differ"))
+		}
+		fmt.Fprintf(os.Stderr, "braidcc: verified: identical memory images after %d instructions\n", fo.Steps)
+	}
+
+	fmt.Fprintf(os.Stderr, "braidcc: %d instructions, %d braids, splits: %d memory, %d hazard, %d pressure\n",
+		len(res.Prog.Instrs), len(res.Braids), res.MemSplits, res.DepSplits, res.PressureSplits)
+	if *statsOnly {
+		fmt.Print(res.Stats.String())
+		return
+	}
+	if *dot >= 0 {
+		start, end, ok := res.BlockExtent(*dot)
+		if !ok {
+			fatal(fmt.Errorf("no basic block %d", *dot))
+		}
+		fmt.Print(res.Dot(start, end))
+		return
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := isa.WriteImage(f, res.Prog); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "braidcc: wrote %s\n", *out)
+		return
+	}
+	fmt.Print(asm.Format(res.Prog))
+}
+
+func loadProgram(kernel, bench string, iters int, args []string) (*isa.Program, error) {
+	switch {
+	case kernel != "":
+		p, ok := workload.KernelByName(kernel)
+		if !ok {
+			return nil, fmt.Errorf("unknown kernel %q (try fig2, dot, list)", kernel)
+		}
+		return p, nil
+	case bench != "":
+		prof, ok := workload.ProfileByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		return workload.Generate(prof, iters)
+	case len(args) == 1:
+		return loadFile(args[0])
+	default:
+		return nil, fmt.Errorf("need an input: a .s file, -kernel, or -bench")
+	}
+}
+
+// loadFile reads a program from assembly (.s) or a binary image (.brd).
+func loadFile(path string) (*isa.Program, error) {
+	if strings.HasSuffix(path, ".brd") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return isa.ReadImage(f)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Parse(string(src))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "braidcc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command braidstat characterizes programs the way the paper's profiling
+// tool does: dynamic value fanout and lifetime (§1) and the braid statistics
+// of Tables 1-3.
+//
+// Usage:
+//
+//	braidstat -bench gcc            one generated benchmark
+//	braidstat -kernel fig2          a built-in kernel
+//	braidstat -suite                all 26 SPEC CPU2000 stand-ins
+//	braidstat -values -bench mcf    value fanout/lifetime only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"braid/internal/braid"
+	"braid/internal/cfg"
+	"braid/internal/interp"
+	"braid/internal/isa"
+	"braid/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "generated benchmark name")
+		kernel = flag.String("kernel", "", "built-in kernel name")
+		suite  = flag.Bool("suite", false, "characterize the whole suite")
+		values = flag.Bool("values", false, "value fanout/lifetime only")
+		iters  = flag.Int("iters", 50, "benchmark loop iterations")
+	)
+	flag.Parse()
+
+	switch {
+	case *suite:
+		for _, prof := range workload.Profiles() {
+			p, err := workload.Generate(prof, *iters)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("--- %s ---\n", prof.Name)
+			characterize(p, *values)
+		}
+	case *bench != "":
+		prof, ok := workload.ProfileByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		p, err := workload.Generate(prof, *iters)
+		if err != nil {
+			fatal(err)
+		}
+		characterize(p, *values)
+	case *kernel != "":
+		p, ok := workload.KernelByName(*kernel)
+		if !ok {
+			fatal(fmt.Errorf("unknown kernel %q", *kernel))
+		}
+		characterize(p, *values)
+	default:
+		fatal(fmt.Errorf("need -bench, -kernel, or -suite"))
+	}
+}
+
+func characterize(p *isa.Program, valuesOnly bool) {
+	vs, err := interp.Characterize(p, 100_000_000)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(vs.String())
+	if valuesOnly {
+		return
+	}
+	if g, err := cfg.Build(p); err == nil {
+		loops := cfg.NaturalLoops(g)
+		fmt.Printf("control flow: %d blocks, %d natural loops\n", len(g.Blocks), len(loops))
+	}
+	res, err := braid.Compile(p, braid.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	ds := braid.NewDynamicStats(res)
+	m := interp.New(res.Prog)
+	if _, err := m.Run(100_000_000, func(si *interp.StepInfo) { ds.OnRetire(si.Index) }); err != nil {
+		fatal(err)
+	}
+	st := ds.Stats()
+	fmt.Print(st.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "braidstat: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+package braid_test
+
+import (
+	"fmt"
+	"log"
+
+	"braid"
+)
+
+// ExampleCompile braids a small basic block: two independent dataflow
+// chains become two braids, their temporaries become internal registers,
+// and the S/T/I/E bits appear in the listing.
+func ExampleCompile() {
+	prog, err := braid.ParseAsm(`
+.name example
+.data 64
+	ldimm r1, #65536
+	ldimm r2, #7
+	br body
+body:
+	add  r3, r2, #1
+	mul  r4, r3, r3
+	stq  r4, 0(r1)    !ac=1
+	xor  r5, r2, #21
+	add  r6, r5, r5
+	stq  r6, 8(r1)    !ac=1
+	halt
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := braid.Compile(prog, braid.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range c.Braids {
+		if b.Block == 1 && !b.Single() {
+			fmt.Printf("braid of %d instructions, %d internal value(s):\n", b.Size(), b.Internals)
+			for i := b.Start; i < b.End; i++ {
+				fmt.Printf("  %s\n", c.Prog.Instrs[i].String())
+			}
+		}
+	}
+	// Output:
+	// braid of 3 instructions, 2 internal value(s):
+	//   S| add i0, r2, #1
+	//   mul i1, i0, i0
+	//   stq i1, 0(r1)
+	// braid of 3 instructions, 2 internal value(s):
+	//   S| xor i0, r2, #21
+	//   add i1, i0, i0
+	//   stq i1, 8(r1)
+}
+
+// ExampleSimulate compares the braid microarchitecture against the
+// conventional out-of-order design on one generated benchmark.
+func ExampleSimulate() {
+	prog, err := braid.GenerateBenchmark("crafty", 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := braid.Compile(prog, braid.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ooo, err := braid.Simulate(prog, braid.OutOfOrder(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	br, err := braid.Simulate(compiled.Prog, braid.Braid(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("both machines retire the same %v instructions\n", ooo.Retired == br.Retired)
+	fmt.Printf("braid reaches a large fraction of out-of-order: %v\n", br.IPC() > 0.55*ooo.IPC())
+	// Output:
+	// both machines retire the same true instructions
+	// braid reaches a large fraction of out-of-order: true
+}
+
+// ExampleRun shows the architectural interpreter and the equivalence of a
+// braided program.
+func ExampleRun() {
+	prog, _ := braid.ParseAsm(`
+.data 64
+	ldimm r1, #65536
+	ldimm r2, #6
+	mul   r3, r2, #7
+	stq   r3, 0(r1)
+	halt
+`)
+	c, _ := braid.Compile(prog, braid.CompileOptions{})
+	a, _ := braid.Run(prog, 1000)
+	b, _ := braid.Run(c.Prog, 1000)
+	fmt.Println("identical memory:", a.MemHash == b.MemHash)
+	// Output:
+	// identical memory: true
+}

@@ -1,0 +1,69 @@
+// Characterize: reproduce the paper's motivating statistics (§1 and Tables
+// 1-3) for one synthetic SPEC CPU2000 stand-in: value fanout, value
+// lifetime, and the braid geometry found by the compiler.
+//
+//	go run ./examples/characterize [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"braid/internal/braid"
+	"braid/internal/interp"
+	"braid/internal/workload"
+)
+
+func main() {
+	name := "gcc"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	prof, ok := workload.ProfileByName(name)
+	if !ok {
+		log.Fatalf("unknown benchmark %q (12 integer + 14 fp SPEC CPU2000 names)", name)
+	}
+	prog, err := workload.Generate(prof, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// §1: dynamic value fanout and lifetime. The braid exists because
+	// most values are consumed once, quickly.
+	vs, err := interp.Characterize(prog, 10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s: value characterization (paper §1) ===\n", name)
+	fmt.Printf("values produced:           %d\n", vs.TotalValues)
+	fmt.Printf("read exactly once:         %5.1f%%  (paper: >70%% on average)\n", 100*vs.FracUsedOnce())
+	fmt.Printf("read at most twice:        %5.1f%%  (paper: ~90%%)\n", 100*vs.FanoutCDF(2))
+	fmt.Printf("never read:                %5.1f%%  (paper: ~4%%)\n", 100*vs.FracUnused())
+	fmt.Printf("lifetime <= 32 instrs:     %5.1f%%  (paper: ~80%%)\n", 100*vs.LifetimeCDF(32))
+
+	// Tables 1-3: braid the program and weight the statistics by
+	// execution, the way a profiling run would.
+	res, err := braid.Compile(prog, braid.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := braid.NewDynamicStats(res)
+	m := interp.New(res.Prog)
+	if _, err := m.Run(10_000_000, func(si *interp.StepInfo) { ds.OnRetire(si.Index) }); err != nil {
+		log.Fatal(err)
+	}
+	st := ds.Stats()
+
+	fmt.Printf("\n=== %s: braid statistics (paper Tables 1-3) ===\n", name)
+	fmt.Printf("%-28s %8s %8s\n", "", "measured", "paper")
+	fmt.Printf("%-28s %8.2f %8.2f\n", "braids per basic block", st.BraidsPerBlock(), prof.BraidsPerBlock)
+	fmt.Printf("%-28s %8.2f %8.2f\n", "braid size", st.MeanSize(), prof.MeanSize)
+	fmt.Printf("%-28s %8.2f %8.2f\n", "braid width", st.MeanWidth(), prof.MeanWidth)
+	fmt.Printf("%-28s %8.2f %8.2f\n", "external inputs", st.MeanExtInputs(), prof.ExtInputs)
+	fmt.Printf("%-28s %8.2f %8.2f\n", "external outputs", st.MeanExtOutputs(), prof.ExtOutputs)
+	fmt.Printf("%-28s %7.1f%%\n", "single-instruction braids", 100*float64(st.Singles)/float64(st.Braids))
+	fmt.Printf("%-28s %7.1f%%  (paper: 99%%)\n", "braids <= 32 instructions", 100*st.FracBraidsLE32())
+	fmt.Printf("\nsplits: %d memory-order, %d hazard, %d register-pressure\n",
+		res.MemSplits, res.DepSplits, res.PressureSplits)
+}

@@ -1,0 +1,65 @@
+// Paradigms: the Figure 13 head-to-head on one benchmark — in-order,
+// dependence-based steering, braid, and out-of-order, at 4, 8, and 16 wide.
+//
+//	go run ./examples/paradigms [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"braid/internal/braid"
+	"braid/internal/uarch"
+	"braid/internal/workload"
+)
+
+func main() {
+	name := "crafty"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	prof, ok := workload.ProfileByName(name)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", name)
+	}
+	prog, err := workload.Generate(prof, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := braid.Compile(prog, braid.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== %s: four paradigms × three widths (paper Figure 13) ===\n\n", name)
+	fmt.Printf("%-14s %8s %8s %8s\n", "core", "4-wide", "8-wide", "16-wide")
+	type entry struct {
+		label   string
+		braided bool
+		mk      func(int) uarch.Config
+	}
+	for _, e := range []entry{
+		{"in-order", false, uarch.InOrderConfig},
+		{"dep-steer", false, uarch.DepSteerConfig},
+		{"braid", true, uarch.BraidConfig},
+		{"out-of-order", false, uarch.OutOfOrderConfig},
+	} {
+		fmt.Printf("%-14s", e.label)
+		for _, w := range []int{4, 8, 16} {
+			p := prog
+			if e.braided {
+				p = res.Prog
+			}
+			st, err := uarch.Simulate(p, e.mk(w))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.3f", st.IPC())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nIPC shown; the braid core runs the braid-compiled binary.")
+	fmt.Println("The paper's claim: braid lands within ~9% of the 8-wide out-of-order")
+	fmt.Println("machine with almost in-order complexity, and the gap narrows at 16-wide.")
+}

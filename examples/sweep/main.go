@@ -1,0 +1,75 @@
+// Sweep: the Figure 6 sensitivity study on one benchmark — how small can the
+// braid machine's external register file be? The paper's answer: 8 entries
+// behave like 256, because internal values never touch it.
+//
+//	go run ./examples/sweep [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"braid/internal/braid"
+	"braid/internal/uarch"
+	"braid/internal/workload"
+)
+
+func main() {
+	name := "vortex"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	prof, ok := workload.ProfileByName(name)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", name)
+	}
+	prog, err := workload.Generate(prof, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := braid.Compile(prog, braid.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== %s: braid external register file sweep (paper Figure 6) ===\n\n", name)
+	base := 0.0
+	for _, entries := range []int{256, 64, 32, 16, 8, 4} {
+		cfg := uarch.BraidConfig(8)
+		cfg.RFEntries = entries
+		st, err := uarch.Simulate(res.Prog, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = st.IPC()
+		}
+		bar := ""
+		for i := 0.0; i < st.IPC()/base*40; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%4d entries: IPC %6.3f  (%5.1f%% of 256)  %s\n",
+			entries, st.IPC(), 100*st.IPC()/base, bar)
+	}
+	fmt.Println("\nAnd the conventional out-of-order machine on the same benchmark")
+	fmt.Println("(paper Figure 5) — it needs far more registers:")
+	base = 0.0
+	for _, entries := range []int{256, 64, 32, 16, 8} {
+		cfg := uarch.OutOfOrderConfig(8)
+		cfg.RFEntries = entries
+		st, err := uarch.Simulate(prog, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = st.IPC()
+		}
+		bar := ""
+		for i := 0.0; i < st.IPC()/base*40; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%4d entries: IPC %6.3f  (%5.1f%% of 256)  %s\n",
+			entries, st.IPC(), 100*st.IPC()/base, bar)
+	}
+}

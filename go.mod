@@ -1,0 +1,3 @@
+module braid
+
+go 1.22

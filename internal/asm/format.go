@@ -1,0 +1,125 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"braid/internal/isa"
+)
+
+// Format renders a program as assembly text that Parse accepts, labeling
+// branch targets L0, L1, ... in order of appearance.
+func Format(p *isa.Program) string {
+	targets := map[int]string{}
+	nextLabel := 0
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if !in.IsBranch() {
+			continue
+		}
+		t := in.BranchTarget(i)
+		if _, ok := targets[t]; !ok {
+			targets[t] = fmt.Sprintf("L%d", nextLabel)
+			nextLabel++
+		}
+	}
+
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, ".name %s\n", p.Name)
+	}
+	if p.FP {
+		b.WriteString(".fp\n")
+	}
+	if len(p.Data) > 0 {
+		allZero := true
+		for _, x := range p.Data {
+			if x != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			fmt.Fprintf(&b, ".data %d\n", len(p.Data))
+		} else {
+			// Emit full words so initialized data round-trips.
+			for off := 0; off < len(p.Data); off += 8 {
+				var v uint64
+				for i := 0; i < 8 && off+i < len(p.Data); i++ {
+					v |= uint64(p.Data[off+i]) << (8 * uint(i))
+				}
+				fmt.Fprintf(&b, ".word %d\n", int64(v))
+			}
+			if rem := len(p.Data) % 8; rem != 0 {
+				// .word appended 8 bytes; trim note: Parse will
+				// produce a data segment rounded up to 8 bytes,
+				// which reads identically (zero fill).
+				_ = rem
+			}
+		}
+	}
+	for i := range p.Instrs {
+		if lbl, ok := targets[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		in := &p.Instrs[i]
+		b.WriteString("\t")
+		b.WriteString(formatInstr(in, i, targets))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func formatInstr(in *isa.Instruction, idx int, targets map[int]string) string {
+	src := func(r isa.Reg, t bool, ii uint8) string {
+		if t {
+			return fmt.Sprintf("i%d", ii)
+		}
+		return r.String()
+	}
+	dest := func() string {
+		switch {
+		case in.IDest && in.EDest:
+			return fmt.Sprintf("i%d/%s", in.IDestIdx, in.Dest)
+		case in.IDest:
+			return fmt.Sprintf("i%d", in.IDestIdx)
+		default:
+			return in.Dest.String()
+		}
+	}
+	var s string
+	info := in.Info()
+	switch {
+	case in.Op == isa.OpNOP || in.Op == isa.OpHALT:
+		s = in.Op.String()
+	case in.Op == isa.OpLDIMM:
+		s = fmt.Sprintf("%s %s, #%d", in.Op, dest(), in.Imm)
+	case in.Op == isa.OpLDA, in.IsLoad():
+		s = fmt.Sprintf("%s %s, %d(%s)", in.Op, dest(), in.Imm, src(in.Src1, in.T1, in.I1))
+	case in.IsStore():
+		s = fmt.Sprintf("%s %s, %d(%s)", in.Op, src(in.Src1, in.T1, in.I1), in.Imm, src(in.Src2, in.T2, in.I2))
+	case in.IsUncondBranch():
+		s = fmt.Sprintf("%s %s", in.Op, targets[in.BranchTarget(idx)])
+	case in.IsCondBranch():
+		s = fmt.Sprintf("%s %s, %s", in.Op, src(in.Src1, in.T1, in.I1), targets[in.BranchTarget(idx)])
+	default:
+		s = fmt.Sprintf("%s %s", in.Op, dest())
+		if info.NumSrcs >= 1 {
+			s += ", " + src(in.Src1, in.T1, in.I1)
+		}
+		if info.NumSrcs >= 2 {
+			if in.HasImm {
+				s += fmt.Sprintf(", #%d", in.Imm)
+			} else {
+				s += ", " + src(in.Src2, in.T2, in.I2)
+			}
+		}
+	}
+	if in.IsMem() && in.AliasClass != 0 {
+		s += fmt.Sprintf("\t!ac=%d", in.AliasClass)
+	}
+	if in.Start {
+		s += "\t!start"
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+// Package bpred implements the branch direction predictors used by the
+// simulators: the perceptron predictor from Table 4 (512-entry weight table,
+// 64-bit global history) and a perfect oracle used for the Figure 1
+// potential-performance study.
+package bpred
+
+// Predictor predicts conditional branch directions. Because the timing
+// simulator is functionally directed (the correct outcome is known when the
+// branch is fetched), Predict receives the actual outcome; real predictors
+// must ignore it, while the perfect oracle returns it. Train is called once
+// per dynamic branch with the actual outcome.
+type Predictor interface {
+	Predict(pc uint64, actual bool) bool
+	Train(pc uint64, taken bool)
+}
+
+// Perfect is the oracle predictor: never wrong.
+type Perfect struct{}
+
+// Predict returns the actual outcome.
+func (Perfect) Predict(_ uint64, actual bool) bool { return actual }
+
+// Train is a no-op.
+func (Perfect) Train(uint64, bool) {}
+
+// Perceptron is the perceptron predictor of Jiménez and Lin, configured per
+// the paper's Table 4: a 512-entry weight table indexed by PC, with 64 bits
+// of global history.
+type Perceptron struct {
+	histBits int
+	weights  [][]int16 // [entry][histBits+1]; index 0 is the bias weight
+	history  uint64
+	theta    int32
+
+	// Statistics.
+	Predictions uint64
+	Mispredicts uint64
+}
+
+// NewPerceptron builds a predictor with the given table size and history
+// length. Table 4's configuration is NewPerceptron(512, 64).
+func NewPerceptron(entries, histBits int) *Perceptron {
+	if entries <= 0 || histBits <= 0 || histBits > 64 {
+		panic("bpred: bad perceptron configuration")
+	}
+	p := &Perceptron{
+		histBits: histBits,
+		weights:  make([][]int16, entries),
+		// Jiménez & Lin's threshold: 1.93*h + 14.
+		theta: int32(1.93*float64(histBits) + 14),
+	}
+	for i := range p.weights {
+		p.weights[i] = make([]int16, histBits+1)
+	}
+	return p
+}
+
+func (p *Perceptron) index(pc uint64) int {
+	h := pc ^ pc>>9 ^ pc>>17
+	return int(h % uint64(len(p.weights)))
+}
+
+func (p *Perceptron) output(pc uint64) int32 {
+	w := p.weights[p.index(pc)]
+	y := int32(w[0])
+	for i := 0; i < p.histBits; i++ {
+		if p.history>>uint(i)&1 != 0 {
+			y += int32(w[i+1])
+		} else {
+			y -= int32(w[i+1])
+		}
+	}
+	return y
+}
+
+// Predict returns the perceptron's direction guess; the actual outcome is
+// ignored (it is consumed by the simulator for oracle predictors only).
+func (p *Perceptron) Predict(pc uint64, _ bool) bool {
+	return p.output(pc) >= 0
+}
+
+const weightMax = 127 // keep weights in signed-byte range, as hardware would
+
+// Train updates the indexed perceptron with the resolved outcome and shifts
+// the global history. The simulator calls it once per dynamic conditional
+// branch, in fetch order.
+func (p *Perceptron) Train(pc uint64, taken bool) {
+	y := p.output(pc)
+	pred := y >= 0
+	p.Predictions++
+	if pred != taken {
+		p.Mispredicts++
+	}
+	if pred != taken || abs32(y) <= p.theta {
+		w := p.weights[p.index(pc)]
+		adj := func(i int, agree bool) {
+			if agree {
+				if w[i] < weightMax {
+					w[i]++
+				}
+			} else if w[i] > -weightMax {
+				w[i]--
+			}
+		}
+		adj(0, taken)
+		for i := 0; i < p.histBits; i++ {
+			h := p.history>>uint(i)&1 != 0
+			adj(i+1, h == taken)
+		}
+	}
+	p.history = p.history<<1 | b2u(taken)
+}
+
+// MispredictRate returns the fraction of trained branches that were
+// mispredicted.
+func (p *Perceptron) MispredictRate() float64 {
+	if p.Predictions == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Predictions)
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

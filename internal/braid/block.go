@@ -1,0 +1,551 @@
+package braid
+
+import (
+	"fmt"
+	"sort"
+
+	"braid/internal/cfg"
+	"braid/internal/isa"
+)
+
+// Operand slots, in the order they can carry dependencies.
+const (
+	slotSrc1     = 0
+	slotSrc2     = 1
+	slotDestRead = 2 // conditional moves read their old destination
+)
+
+// operandRef is one register-carried dependency of an instruction.
+type operandRef struct {
+	slot int8
+	reg  isa.Reg
+	prod int16 // producing instruction (block-relative), -1 if outside block
+}
+
+// consumerRef is the reverse edge.
+type consumerRef struct {
+	instr int16
+	slot  int8
+}
+
+// defClass is the classification of a produced value (paper §3.2: the I and
+// E destination bits).
+type defClass uint8
+
+const (
+	classNone     defClass = iota // no value produced (store/branch/r31 dest)
+	classInternal                 // internal register file only
+	classDual                     // both files
+	classExternal                 // external register file only
+)
+
+// blockCompiler braids one basic block.
+type blockCompiler struct {
+	prog        *isa.Program
+	blk         *cfg.Block
+	liveOut     cfg.RegSet
+	maxInternal int
+
+	n         int
+	refs      [][]operandRef
+	consumers [][]consumerRef
+	defReg    []isa.Reg // per instruction; RegNone if no value
+	lastDef   [isa.NumArchRegs]int16
+
+	braids  [][]int16 // each member list sorted ascending
+	braidOf []int16
+
+	order  []int16 // braid placement order
+	newPos []int16 // relative instruction index -> position in new block
+
+	class  []defClass
+	intIdx []uint8 // allocated internal register per def
+
+	memSplits, depSplits, pressureSplits int
+}
+
+func newBlockCompiler(p *isa.Program, blk *cfg.Block, liveOut cfg.RegSet, maxInternal int) (*blockCompiler, error) {
+	n := blk.Len()
+	if n > 127 {
+		return nil, fmt.Errorf("braid: block of %d instructions exceeds the 127-instruction limit", n)
+	}
+	bc := &blockCompiler{
+		prog:        p,
+		blk:         blk,
+		liveOut:     liveOut,
+		maxInternal: maxInternal,
+		n:           n,
+		refs:        make([][]operandRef, n),
+		consumers:   make([][]consumerRef, n),
+		defReg:      make([]isa.Reg, n),
+		braidOf:     make([]int16, n),
+		newPos:      make([]int16, n),
+		class:       make([]defClass, n),
+		intIdx:      make([]uint8, n),
+	}
+	for r := range bc.lastDef {
+		bc.lastDef[r] = -1
+	}
+
+	var prodAt [isa.NumArchRegs]int16
+	for r := range prodAt {
+		prodAt[r] = -1
+	}
+	for m := 0; m < n; m++ {
+		in := &p.Instrs[blk.Start+m]
+		info := in.Info()
+		addRef := func(slot int8, r isa.Reg) {
+			if r == isa.RegNone || r == isa.RegZero || !r.Valid() {
+				return
+			}
+			bc.refs[m] = append(bc.refs[m], operandRef{slot: slot, reg: r, prod: prodAt[r]})
+			if p := prodAt[r]; p >= 0 {
+				bc.consumers[p] = append(bc.consumers[p], consumerRef{instr: int16(m), slot: slot})
+			}
+		}
+		if info.NumSrcs >= 1 {
+			addRef(slotSrc1, in.Src1)
+		}
+		if info.NumSrcs >= 2 && !in.HasImm {
+			addRef(slotSrc2, in.Src2)
+		}
+		if info.ReadsDest {
+			addRef(slotDestRead, in.Dest)
+		}
+		bc.defReg[m] = isa.RegNone
+		if in.WritesReg() && in.Dest != isa.RegZero {
+			bc.defReg[m] = in.Dest
+			prodAt[in.Dest] = int16(m)
+			bc.lastDef[in.Dest] = int16(m)
+		}
+	}
+
+	bc.initialBraids()
+	return bc, nil
+}
+
+// initialBraids forms braids as weakly connected components of the
+// block-local flow-dependence graph (the paper's graph-coloring pass).
+func (bc *blockCompiler) initialBraids() {
+	parent := make([]int16, bc.n)
+	for i := range parent {
+		parent[i] = int16(i)
+	}
+	var find func(x int16) int16
+	find = func(x int16) int16 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int16) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for m := 0; m < bc.n; m++ {
+		for _, ref := range bc.refs[m] {
+			if ref.prod >= 0 {
+				union(ref.prod, int16(m))
+			}
+		}
+	}
+	groups := map[int16][]int16{}
+	for m := 0; m < bc.n; m++ {
+		r := find(int16(m))
+		groups[r] = append(groups[r], int16(m))
+	}
+	roots := make([]int16, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+	for _, r := range roots {
+		bc.braids = append(bc.braids, groups[r])
+	}
+}
+
+// run iterates classify → order → check until the braid set is stable.
+func (bc *blockCompiler) run() error {
+	for iter := 0; ; iter++ {
+		if iter > 4*bc.n+16 {
+			return fmt.Errorf("braid: split loop did not converge")
+		}
+		bc.assignBraidOf()
+		bc.classify()
+		bc.orderBraids()
+		if i, j, ok := bc.findViolation(); ok {
+			if err := bc.resolveViolation(i, j); err != nil {
+				return err
+			}
+			continue
+		}
+		if bIdx, member, ok := bc.allocateInternals(); !ok {
+			bc.split(bIdx, member)
+			bc.pressureSplits++
+			continue
+		}
+		return nil
+	}
+}
+
+func (bc *blockCompiler) assignBraidOf() {
+	for bi, members := range bc.braids {
+		for _, m := range members {
+			bc.braidOf[m] = int16(bi)
+		}
+	}
+}
+
+// classify determines each produced value's destination class given the
+// current braid partition.
+func (bc *blockCompiler) classify() {
+	for m := 0; m < bc.n; m++ {
+		if bc.defReg[m] == isa.RegNone {
+			bc.class[m] = classNone
+			continue
+		}
+		escapes := false
+		hasIn := false
+		if bc.lastDef[bc.defReg[m]] == int16(m) && bc.liveOut.Has(bc.defReg[m]) {
+			escapes = true
+		}
+		if bc.prog.Instrs[bc.blk.Start+m].ReadsDest() {
+			// A conditional move reads its old destination from the
+			// external file, so its result must live there too (the
+			// encoding has one Dest field for both roles).
+			escapes = true
+		}
+		for _, c := range bc.consumers[m] {
+			switch {
+			case c.slot == slotDestRead:
+				// The braid ISA has no T bit for the old-destination
+				// read of a conditional move, so that consumer always
+				// reads the external file.
+				escapes = true
+			case bc.braidOf[c.instr] == bc.braidOf[m]:
+				hasIn = true
+			default:
+				escapes = true
+			}
+		}
+		switch {
+		case !escapes:
+			bc.class[m] = classInternal
+		case hasIn:
+			bc.class[m] = classDual
+		default:
+			bc.class[m] = classExternal
+		}
+	}
+}
+
+// forcedLastBraid returns the braid that must be placed last: the one
+// containing the block's terminating branch or halt, or -1.
+func (bc *blockCompiler) forcedLastBraid() int16 {
+	last := &bc.prog.Instrs[bc.blk.Start+bc.n-1]
+	if last.IsBranch() || last.IsHalt() {
+		return bc.braidOf[bc.n-1]
+	}
+	return -1
+}
+
+// orderBraids places braids by ascending first-instruction index, with the
+// branch braid forced last (paper §3.1), and computes every instruction's
+// new position.
+func (bc *blockCompiler) orderBraids() {
+	forced := bc.forcedLastBraid()
+	bc.order = bc.order[:0]
+	for bi := range bc.braids {
+		if int16(bi) != forced {
+			bc.order = append(bc.order, int16(bi))
+		}
+	}
+	sort.Slice(bc.order, func(i, j int) bool {
+		return bc.braids[bc.order[i]][0] < bc.braids[bc.order[j]][0]
+	})
+	if forced >= 0 {
+		bc.order = append(bc.order, forced)
+	}
+	pos := int16(0)
+	for _, bi := range bc.order {
+		for _, m := range bc.braids[bi] {
+			bc.newPos[m] = pos
+			pos++
+		}
+	}
+}
+
+// extRead reports whether instruction m's ref is satisfied from the external
+// register file under the current partition and classification.
+func (bc *blockCompiler) extRead(m int, ref operandRef) bool {
+	if ref.slot == slotDestRead {
+		return true
+	}
+	if ref.prod < 0 {
+		return true
+	}
+	return bc.braidOf[ref.prod] != bc.braidOf[m]
+}
+
+// writesExternal reports whether instruction m writes the external file.
+func (bc *blockCompiler) writesExternal(m int) bool {
+	return bc.class[m] == classDual || bc.class[m] == classExternal
+}
+
+// findViolation scans ordered-pair constraints and returns the first
+// original-order pair (i < j) whose order the current placement inverts.
+// Constraints (all on the braided block's new linear order):
+//
+//   - memory: may-alias memory pairs with at least one store keep their
+//     original partial order (paper §3.1);
+//   - WAW / WAR / RAW hazards through the external register file keep
+//     their original order (this substitutes for the paper's external
+//     register re-allocation; see the package comment).
+func (bc *blockCompiler) findViolation() (int, int, bool) {
+	for i := 0; i < bc.n; i++ {
+		for j := i + 1; j < bc.n; j++ {
+			if bc.newPos[j] > bc.newPos[i] {
+				continue
+			}
+			if bc.conflicts(i, j) {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func (bc *blockCompiler) conflicts(i, j int) bool {
+	ii := &bc.prog.Instrs[bc.blk.Start+i]
+	ij := &bc.prog.Instrs[bc.blk.Start+j]
+	// Memory ordering.
+	if ii.IsMem() && ij.IsMem() && (ii.IsStore() || ij.IsStore()) && mayAlias(ii, ij) {
+		return true
+	}
+	// WAW through the external file.
+	if bc.defReg[i] != isa.RegNone && bc.defReg[i] == bc.defReg[j] &&
+		bc.writesExternal(i) && bc.writesExternal(j) {
+		return true
+	}
+	// WAR: i reads a register externally that j overwrites externally.
+	if bc.defReg[j] != isa.RegNone && bc.writesExternal(j) {
+		for _, ref := range bc.refs[i] {
+			if ref.reg == bc.defReg[j] && bc.extRead(i, ref) {
+				return true
+			}
+		}
+	}
+	// RAW: j reads i's value through the external file.
+	if bc.defReg[i] != isa.RegNone && bc.writesExternal(i) {
+		for _, ref := range bc.refs[j] {
+			if ref.prod == int16(i) && bc.extRead(j, ref) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mayAlias is the static disambiguator: distinct non-zero alias classes are
+// guaranteed disjoint (the compiler's stack/global knowledge, §3.1); class 0
+// may alias anything.
+func mayAlias(a, b *isa.Instruction) bool {
+	if a.AliasClass == 0 || b.AliasClass == 0 {
+		return true
+	}
+	return a.AliasClass == b.AliasClass
+}
+
+// resolveViolation splits a braid so the violated pair (i before j) can be
+// ordered correctly: normally the braid containing j is broken at j (the
+// paper's "broken into two braids at the location of the violation"); when
+// i's braid is pinned last by the branch rule, i's braid is broken after i
+// instead.
+func (bc *blockCompiler) resolveViolation(i, j int) error {
+	bj := bc.braidOf[j]
+	if bc.braids[bj][0] < int16(j) {
+		bc.split(int(bj), int16(j))
+		bc.noteSplitCause(i, j)
+		return nil
+	}
+	bi := bc.braidOf[i]
+	if bc.braidOf[bc.n-1] == bi && int(bc.braids[bi][len(bc.braids[bi])-1]) == bc.n-1 {
+		// i's braid is pinned last by the branch rule. Break it just
+		// before j: everything before j (including i) becomes a braid
+		// placed by the normal first-instruction order, which lands
+		// ahead of j's braid.
+		bc.split(int(bi), int16(j))
+		bc.noteSplitCause(i, j)
+		return nil
+	}
+	return fmt.Errorf("braid: unresolvable ordering violation between %d and %d", i, j)
+}
+
+func (bc *blockCompiler) noteSplitCause(i, j int) {
+	ii := &bc.prog.Instrs[bc.blk.Start+i]
+	ij := &bc.prog.Instrs[bc.blk.Start+j]
+	if ii.IsMem() && ij.IsMem() {
+		bc.memSplits++
+	} else {
+		bc.depSplits++
+	}
+}
+
+// split breaks braid bIdx in two at member value at: members < at stay,
+// members >= at form a new braid.
+func (bc *blockCompiler) split(bIdx int, at int16) {
+	old := bc.braids[bIdx]
+	var lo, hi []int16
+	for _, m := range old {
+		if m < at {
+			lo = append(lo, m)
+		} else {
+			hi = append(hi, m)
+		}
+	}
+	if len(lo) == 0 || len(hi) == 0 {
+		// Degenerate split; nothing to do (callers avoid this).
+		return
+	}
+	bc.braids[bIdx] = lo
+	bc.braids = append(bc.braids, hi)
+}
+
+// allocateInternals linear-scans each braid's internal values onto the
+// internal register file. On overflow it reports the braid and the member at
+// which allocation failed so the caller can split there (paper §3.1: "the
+// braid is broken into two braids at this boundary"; ~2% of braids at 8
+// registers).
+func (bc *blockCompiler) allocateInternals() (bIdx int, member int16, ok bool) {
+	for bi, members := range bc.braids {
+		posIn := map[int16]int{}
+		for k, m := range members {
+			posIn[m] = k
+		}
+		// lastUse[k]: braid-local position of the last in-braid
+		// consumer of member k's value.
+		type interval struct {
+			end int
+			reg uint8
+		}
+		var active []interval
+		free := make([]uint8, 0, bc.maxInternal)
+		for r := bc.maxInternal - 1; r >= 0; r-- {
+			free = append(free, uint8(r))
+		}
+		for k, m := range members {
+			// Expire intervals whose last consumer is strictly
+			// before this instruction.
+			dst := active[:0]
+			for _, iv := range active {
+				if iv.end < k {
+					free = append(free, iv.reg)
+				} else {
+					dst = append(dst, iv)
+				}
+			}
+			active = dst
+			if bc.class[m] != classInternal && bc.class[m] != classDual {
+				continue
+			}
+			end := k
+			for _, c := range bc.consumers[m] {
+				if c.slot != slotDestRead && bc.braidOf[c.instr] == int16(bi) {
+					if p, found := posIn[c.instr]; found && p > end {
+						end = p
+					}
+				}
+			}
+			if len(free) == 0 {
+				return bi, m, false
+			}
+			reg := free[len(free)-1]
+			free = free[:len(free)-1]
+			bc.intIdx[m] = reg
+			active = append(active, interval{end: end, reg: reg})
+		}
+	}
+	return 0, 0, true
+}
+
+// emit writes the braided block into res and records braid descriptors.
+func (bc *blockCompiler) emit(res *Result) {
+	res.MemSplits += bc.memSplits
+	res.DepSplits += bc.depSplits
+	res.PressureSplits += bc.pressureSplits
+
+	pos := bc.blk.Start
+	for _, bi := range bc.order {
+		members := bc.braids[bi]
+		braidIdx := len(res.Braids)
+		br := Braid{
+			Block: bc.blk.Index,
+			Start: pos,
+		}
+		depth := map[int16]int{}
+		extIn := map[isa.Reg]bool{}
+		for k, m := range members {
+			in := bc.prog.Instrs[bc.blk.Start+int(m)] // copy
+			in.Start = k == 0
+
+			d := 1
+			for _, ref := range bc.refs[m] {
+				inBraid := ref.prod >= 0 && bc.braidOf[ref.prod] == bi
+				if inBraid {
+					if pd := depth[ref.prod]; pd+1 > d {
+						d = pd + 1
+					}
+				}
+				if !inBraid && ref.slot != slotDestRead {
+					extIn[ref.reg] = true
+				} else if ref.slot == slotDestRead && ref.prod < 0 {
+					extIn[ref.reg] = true
+				}
+				// Source T bits: in-braid producers are read from
+				// the internal file (dest-reads cannot be).
+				if inBraid && ref.slot != slotDestRead &&
+					(bc.class[ref.prod] == classInternal || bc.class[ref.prod] == classDual) {
+					switch ref.slot {
+					case slotSrc1:
+						in.T1, in.I1, in.Src1 = true, bc.intIdx[ref.prod], isa.RegNone
+					case slotSrc2:
+						in.T2, in.I2, in.Src2 = true, bc.intIdx[ref.prod], isa.RegNone
+					}
+				}
+			}
+			depth[m] = d
+			if d > br.CritPath {
+				br.CritPath = d
+			}
+
+			switch bc.class[m] {
+			case classInternal:
+				in.IDest, in.IDestIdx, in.EDest = true, bc.intIdx[m], false
+				in.Dest = isa.RegNone
+				br.Internals++
+			case classDual:
+				in.IDest, in.IDestIdx, in.EDest = true, bc.intIdx[m], true
+				br.Internals++
+				br.ExtOutputs++
+			case classExternal:
+				in.EDest = true
+				br.ExtOutputs++
+			}
+			if in.IsBranch() {
+				br.HasBranch = true
+			}
+			in.Canonicalize()
+			res.Prog.Instrs[pos] = in
+			res.BraidOf[pos] = braidIdx
+			res.NewIndex[bc.blk.Start+int(m)] = pos
+			br.Orig = append(br.Orig, bc.blk.Start+int(m))
+			pos++
+		}
+		br.End = pos
+		br.ExtInputs = len(extIn)
+		res.Braids = append(res.Braids, br)
+	}
+}

@@ -1,0 +1,147 @@
+// Package braid implements the compiler side of Tseng & Patt's braid
+// proposal (ISCA 2008, §3.1-3.2): it partitions each basic block's dataflow
+// graph into braids (weakly connected components of the block-local def-use
+// graph), reorders the block so each braid's instructions are consecutive
+// (the branch braid last), splits braids that would violate memory ordering
+// or exceed the internal register file, classifies every produced value as
+// internal, external, or both, allocates internal registers, and re-encodes
+// the program with the braid ISA bits (S, T, I, E).
+//
+// The paper used binary profiling and translation tools over Alpha binaries;
+// this package plays that role for BRD64 programs. One deviation is
+// documented in DESIGN.md: where the paper re-allocates external registers
+// across the program after reordering, we instead add ordering constraints
+// between braids for external-register WAR/WAW/RAW hazards and split braids
+// when the constraints cannot be met, which preserves correctness without a
+// global register allocator. Such splits are counted in Result.DepSplits and
+// remain rare on the evaluated workloads, consistent with the paper's <1%
+// memory-ordering splits and ~2% register-pressure splits.
+package braid
+
+import (
+	"fmt"
+
+	"braid/internal/cfg"
+	"braid/internal/isa"
+)
+
+// Options configures braid compilation.
+type Options struct {
+	// MaxInternal is the size of the internal register file a braid may
+	// use; braids whose working set exceeds it are split. Zero means
+	// isa.NumInternalRegs (8, the paper's choice).
+	MaxInternal int
+}
+
+// Braid describes one braid in the compiled program.
+type Braid struct {
+	Block int // basic-block index in the CFG
+
+	// Start and End delimit the braid's consecutive instructions in the
+	// braided program: [Start, End).
+	Start, End int
+
+	// Orig lists the braid's instructions as indices into the original
+	// program, in braid order.
+	Orig []int
+
+	Internals  int // values written to the internal register file
+	ExtInputs  int // distinct external registers read from outside the braid
+	ExtOutputs int // values written to the external register file
+	CritPath   int // instructions on the longest dataflow path
+	HasBranch  bool
+}
+
+// Size returns the number of instructions in the braid.
+func (b *Braid) Size() int { return b.End - b.Start }
+
+// Single reports whether this is a single-instruction braid. The paper
+// excludes these from Tables 1-3's starred averages.
+func (b *Braid) Single() bool { return b.Size() == 1 }
+
+// Width is the braid's average instruction-level parallelism: size divided
+// by the length of the longest dataflow path (paper §2).
+func (b *Braid) Width() float64 {
+	if b.CritPath == 0 {
+		return 1
+	}
+	return float64(b.Size()) / float64(b.CritPath)
+}
+
+// Result is a braided program plus its braid structure and statistics.
+type Result struct {
+	Prog    *isa.Program
+	Braids  []Braid
+	BraidOf []int // instruction index (braided program) -> braid index
+
+	// NewIndex maps original instruction indices to braided ones.
+	NewIndex []int
+
+	// Split counters, by cause.
+	MemSplits      int // memory partial order could not be maintained (§3.1)
+	DepSplits      int // external-register hazard ordering (see package doc)
+	PressureSplits int // internal working set exceeded MaxInternal (§3.1)
+
+	Stats Stats
+}
+
+// Compile braids the program. The input program must be unbraided (no braid
+// bits set) and valid. The result program computes exactly the same
+// architectural memory state and the same live external register values.
+func Compile(p *isa.Program, opts Options) (*Result, error) {
+	if opts.MaxInternal <= 0 {
+		opts.MaxInternal = isa.NumInternalRegs
+	}
+	if opts.MaxInternal > isa.NumInternalRegs {
+		return nil, fmt.Errorf("braid: MaxInternal %d exceeds the ISA's %d internal registers", opts.MaxInternal, isa.NumInternalRegs)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("braid: input: %w", err)
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Start || in.T1 || in.T2 || in.IDest {
+			return nil, fmt.Errorf("braid: instr %d already has braid bits set", i)
+		}
+	}
+	g, err := cfg.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	lv := cfg.ComputeLiveness(g)
+
+	res := &Result{
+		Prog: &isa.Program{
+			Name: p.Name,
+			Data: append([]byte(nil), p.Data...),
+			FP:   p.FP,
+		},
+		BraidOf:  make([]int, len(p.Instrs)),
+		NewIndex: make([]int, len(p.Instrs)),
+	}
+	res.Prog.Instrs = make([]isa.Instruction, len(p.Instrs))
+
+	for bi := range g.Blocks {
+		bc, err := newBlockCompiler(p, &g.Blocks[bi], lv.LiveOut[bi], opts.MaxInternal)
+		if err != nil {
+			return nil, err
+		}
+		if err := bc.run(); err != nil {
+			return nil, fmt.Errorf("braid: block %d: %w", bi, err)
+		}
+		bc.emit(res)
+	}
+
+	if err := res.Prog.Validate(); err != nil {
+		return nil, fmt.Errorf("braid: output: %w", err)
+	}
+	res.Stats = computeStats(res, len(g.Blocks))
+	return res, nil
+}
+
+// DecodeProgram rebuilds instructions from their 64-bit encodings; it is a
+// thin convenience over isa.DecodeAll for callers holding a binary image of
+// a braided program.
+func DecodeProgram(words []uint64) ([]isa.Instruction, error) {
+	return isa.DecodeAll(words)
+}

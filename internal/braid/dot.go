@@ -1,0 +1,118 @@
+package braid
+
+import (
+	"fmt"
+	"strings"
+
+	"braid/internal/isa"
+)
+
+// Dot renders one basic block of a braided program as a Graphviz dataflow
+// graph in the style of the paper's Figure 2(c): one node per instruction,
+// braids grouped and colored, solid edges for values communicated through
+// the internal register file and dashed edges for external communication.
+// blockStart/blockEnd delimit the block in the braided program; use the
+// extents recorded in Braids (all braids of one Block index).
+func (res *Result) Dot(blockStart, blockEnd int) string {
+	var b strings.Builder
+	b.WriteString("digraph braids {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+
+	palette := []string{
+		"#cfe8ff", "#ffe3c9", "#d9f2d9", "#f2d9f2", "#fff2b3",
+		"#e0e0e0", "#ffd6d6", "#d6fff5",
+	}
+
+	// Group nodes by braid.
+	cluster := -1
+	for i := blockStart; i < blockEnd && i < len(res.Prog.Instrs); i++ {
+		bi := res.BraidOf[i]
+		if bi != cluster {
+			if cluster >= 0 {
+				b.WriteString("  }\n")
+			}
+			cluster = bi
+			fmt.Fprintf(&b, "  subgraph cluster_%d {\n", bi)
+			fmt.Fprintf(&b, "    label=\"braid %d\"; style=filled; color=\"%s\";\n",
+				bi, palette[bi%len(palette)])
+		}
+		label := strings.ReplaceAll(res.Prog.Instrs[i].String(), `"`, `\"`)
+		fmt.Fprintf(&b, "    n%d [label=\"%d: %s\"];\n", i, i, label)
+	}
+	if cluster >= 0 {
+		b.WriteString("  }\n")
+	}
+
+	// Dataflow edges within the block: track the last writer of each
+	// internal and external register as the block executes in order.
+	var extOwner [isa.NumArchRegs]int
+	var intOwner [isa.NumInternalRegs]int
+	for r := range extOwner {
+		extOwner[r] = -1
+	}
+	for r := range intOwner {
+		intOwner[r] = -1
+	}
+	edge := func(from, to int, internal bool) {
+		if from < 0 {
+			return
+		}
+		style := "dashed" // external communication
+		if internal {
+			style = "solid"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [style=%s];\n", from, to, style)
+	}
+	for i := blockStart; i < blockEnd && i < len(res.Prog.Instrs); i++ {
+		in := &res.Prog.Instrs[i]
+		if in.Start {
+			for r := range intOwner {
+				intOwner[r] = -1
+			}
+		}
+		info := in.Info()
+		if info.NumSrcs >= 1 {
+			if in.T1 {
+				edge(intOwner[in.I1], i, true)
+			} else if in.Src1 != isa.RegNone && in.Src1 != isa.RegZero {
+				edge(extOwner[in.Src1], i, false)
+			}
+		}
+		if info.NumSrcs >= 2 && !in.HasImm {
+			if in.T2 {
+				edge(intOwner[in.I2], i, true)
+			} else if in.Src2 != isa.RegNone && in.Src2 != isa.RegZero {
+				edge(extOwner[in.Src2], i, false)
+			}
+		}
+		if info.ReadsDest && in.Dest != isa.RegNone && in.Dest != isa.RegZero {
+			edge(extOwner[in.Dest], i, false)
+		}
+		if in.IDest {
+			intOwner[in.IDestIdx] = i
+		}
+		if in.WritesReg() && in.Dest != isa.RegZero && (in.EDest || !in.IDest) {
+			extOwner[in.Dest] = i
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// BlockExtent returns the braided-program extent [start, end) of the given
+// basic-block index, or ok=false if the block has no braids.
+func (res *Result) BlockExtent(block int) (start, end int, ok bool) {
+	start, end = -1, -1
+	for i := range res.Braids {
+		if res.Braids[i].Block != block {
+			continue
+		}
+		if start < 0 || res.Braids[i].Start < start {
+			start = res.Braids[i].Start
+		}
+		if res.Braids[i].End > end {
+			end = res.Braids[i].End
+		}
+	}
+	return start, end, start >= 0
+}

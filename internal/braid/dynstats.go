@@ -1,0 +1,82 @@
+package braid
+
+// DynamicStats aggregates Tables 1-3 weighted by dynamic execution counts,
+// the way a profiling run over a benchmark weights them. Feed it the index
+// of every retired instruction of the braided program (in retirement order);
+// braid and block entries are counted via the braid-start positions.
+type DynamicStats struct {
+	res        *Result
+	braidCount []uint64
+	firstOf    []bool // braid index -> is the first braid of its block
+	retired    uint64
+}
+
+// NewDynamicStats prepares a collector for res.
+func NewDynamicStats(res *Result) *DynamicStats {
+	d := &DynamicStats{
+		res:        res,
+		braidCount: make([]uint64, len(res.Braids)),
+		firstOf:    make([]bool, len(res.Braids)),
+	}
+	prevBlock := -1
+	for i := range res.Braids {
+		if res.Braids[i].Block != prevBlock {
+			d.firstOf[i] = true
+			prevBlock = res.Braids[i].Block
+		}
+	}
+	return d
+}
+
+// OnRetire records the retirement of the braided program's instruction idx.
+func (d *DynamicStats) OnRetire(idx int) {
+	d.retired++
+	bi := d.res.BraidOf[idx]
+	if d.res.Braids[bi].Start == idx {
+		d.braidCount[bi]++
+	}
+}
+
+// Stats returns the execution-weighted aggregate.
+func (d *DynamicStats) Stats() Stats {
+	var s Stats
+	s.Instrs = int(d.retired)
+	for i := range d.res.Braids {
+		b := &d.res.Braids[i]
+		c := d.braidCount[i]
+		if c == 0 {
+			continue
+		}
+		n := int(c)
+		if d.firstOf[i] {
+			s.Blocks += n
+		}
+		size := b.Size()
+		s.Braids += n
+		s.sumSizeAll += size * n
+		s.sumWidthAll += b.Width() * float64(n)
+		s.sumIntAll += b.Internals * n
+		s.sumExtInAll += b.ExtInputs * n
+		s.sumExtOutAll += b.ExtOutputs * n
+		s.sumCritAll += b.CritPath * n
+		s.braidsCountable += n
+		if size <= 32 {
+			s.braidsLE32 += n
+		}
+		if b.Single() {
+			s.Singles += n
+			in := &d.res.Prog.Instrs[b.Start]
+			if in.IsBranch() || in.IsNop() || in.IsHalt() {
+				s.SingleBranchNops += n
+			}
+			continue
+		}
+		s.sumSize += size * n
+		s.sumWidth += b.Width() * float64(n)
+		s.sumInt += b.Internals * n
+		s.sumExtIn += b.ExtInputs * n
+		s.sumExtOut += b.ExtOutputs * n
+		s.sumCrit += b.CritPath * n
+	}
+	return s
+}

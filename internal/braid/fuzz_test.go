@@ -1,0 +1,125 @@
+package braid
+
+import (
+	"testing"
+
+	"braid/internal/interp"
+	"braid/internal/workload"
+)
+
+// TestRandomProgramsBraidCorrectly is the compiler's adversarial gauntlet:
+// hundreds of random programs with heavy register reuse, mixed alias
+// classes, conditional moves, and irregular forward control flow. Every one
+// must braid without error, satisfy all structural invariants, and compute
+// an identical memory image with an identical dynamic instruction count.
+// Unlike the curated benchmark suite, these programs exercise the split
+// machinery (memory-order, hazard, and pressure splits) intensively.
+func TestRandomProgramsBraidCorrectly(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 60
+	}
+	var memSplits, depSplits, pressureSplits, total int
+	for seed := int64(0); seed < int64(n); seed++ {
+		p := workload.RandomProgram(seed)
+		res, err := Compile(p, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		if err := res.VerifyInvariants(p); err != nil {
+			t.Fatalf("seed %d: invariants: %v\n%s", seed, err, p.Listing())
+		}
+		fo, err := interp.RunProgram(p, 3_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: run original: %v", seed, err)
+		}
+		fb, err := interp.RunProgram(res.Prog, 3_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: run braided: %v", seed, err)
+		}
+		if fo.MemHash != fb.MemHash {
+			t.Fatalf("seed %d: memory image diverged after braiding", seed)
+		}
+		if fo.Steps != fb.Steps {
+			t.Fatalf("seed %d: dynamic length changed %d -> %d", seed, fo.Steps, fb.Steps)
+		}
+		memSplits += res.MemSplits
+		depSplits += res.DepSplits
+		pressureSplits += res.PressureSplits
+		total += len(res.Braids)
+	}
+	// The gauntlet must actually exercise the split paths.
+	if memSplits == 0 {
+		t.Error("no memory-order splits occurred across the fuzz corpus")
+	}
+	if depSplits == 0 {
+		t.Error("no hazard splits occurred across the fuzz corpus")
+	}
+	t.Logf("%d programs, %d braids, splits: %d memory, %d hazard, %d pressure",
+		n, total, memSplits, depSplits, pressureSplits)
+}
+
+// TestRandomProgramsSmallInternalFile repeats a slice of the gauntlet with a
+// 2-entry internal register file, forcing pressure splits everywhere.
+func TestRandomProgramsSmallInternalFile(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 20
+	}
+	pressure := 0
+	for seed := int64(0); seed < int64(n); seed++ {
+		p := workload.RandomProgram(seed)
+		res, err := Compile(p, Options{MaxInternal: 2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := res.VerifyInvariants(p); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fo, _ := interp.RunProgram(p, 3_000_000)
+		fb, err := interp.RunProgram(res.Prog, 3_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fo.MemHash != fb.MemHash {
+			t.Fatalf("seed %d: diverged with MaxInternal=2", seed)
+		}
+		pressure += res.PressureSplits
+		// No emitted instruction may reference an internal index >= 2.
+		for i := range res.Prog.Instrs {
+			in := &res.Prog.Instrs[i]
+			if (in.IDest && in.IDestIdx >= 2) || (in.T1 && in.I1 >= 2) || (in.T2 && in.I2 >= 2) {
+				t.Fatalf("seed %d: instr %d uses internal register beyond limit: %s", seed, i, in)
+			}
+		}
+	}
+	if pressure == 0 {
+		t.Error("a 2-entry internal file never caused a pressure split")
+	}
+}
+
+// TestRandomProgramsRoundTripEncoding checks that every braided instruction
+// in the corpus survives the 64-bit binary encoding unchanged.
+func TestRandomProgramsRoundTripEncoding(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := workload.RandomProgram(seed)
+		res, err := Compile(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		words, err := res.Prog.EncodeAll()
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		back, err := DecodeProgram(words)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		for i := range back {
+			if back[i] != res.Prog.Instrs[i] {
+				t.Fatalf("seed %d: instr %d changed across encoding:\n%+v\n%+v",
+					seed, i, res.Prog.Instrs[i], back[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package braid
+
+import (
+	"fmt"
+
+	"braid/internal/cfg"
+	"braid/internal/isa"
+)
+
+// VerifyInvariants checks the structural guarantees a braided program must
+// satisfy, given the original program it was compiled from. It is used by
+// the test suite (including property-based tests over generated programs)
+// and is cheap enough to run in harnesses as a sanity check.
+//
+// Invariants:
+//  1. braids partition the program into consecutive, disjoint, covering
+//     instruction ranges;
+//  2. the S bit is set exactly on each braid's first instruction;
+//  3. every internal-register read (T bit) was produced earlier in the same
+//     braid — internal values never cross braid boundaries (paper §3.4);
+//  4. within every block, the original order of may-alias memory pairs
+//     involving a store is preserved (paper §3.1);
+//  5. a block-terminating branch remains the block's last instruction, so
+//     all control-flow targets are unchanged;
+//  6. blocks keep their instruction extents (reordering is block-local).
+func (res *Result) VerifyInvariants(orig *isa.Program) error {
+	p := res.Prog
+	if len(p.Instrs) != len(orig.Instrs) {
+		return fmt.Errorf("instruction count changed: %d -> %d", len(orig.Instrs), len(p.Instrs))
+	}
+
+	// 1 & 2: partition and S bits.
+	pos := 0
+	for bi := range res.Braids {
+		b := &res.Braids[bi]
+		if b.Start != pos {
+			return fmt.Errorf("braid %d starts at %d, want %d (not a partition)", bi, b.Start, pos)
+		}
+		if b.End <= b.Start || b.End > len(p.Instrs) {
+			return fmt.Errorf("braid %d has bad extent [%d,%d)", bi, b.Start, b.End)
+		}
+		for i := b.Start; i < b.End; i++ {
+			if res.BraidOf[i] != bi {
+				return fmt.Errorf("BraidOf[%d] = %d, want %d", i, res.BraidOf[i], bi)
+			}
+			wantStart := i == b.Start
+			if p.Instrs[i].Start != wantStart {
+				return fmt.Errorf("instr %d: S bit = %v, want %v", i, p.Instrs[i].Start, wantStart)
+			}
+		}
+		pos = b.End
+	}
+	if pos != len(p.Instrs) {
+		return fmt.Errorf("braids cover %d of %d instructions", pos, len(p.Instrs))
+	}
+
+	// 3: internal reads see earlier in-braid writes.
+	for bi := range res.Braids {
+		b := &res.Braids[bi]
+		var written [isa.NumInternalRegs]bool
+		for i := b.Start; i < b.End; i++ {
+			in := &p.Instrs[i]
+			if in.T1 && !written[in.I1] {
+				return fmt.Errorf("instr %d reads i%d before any in-braid write", i, in.I1)
+			}
+			if in.T2 && !written[in.I2] {
+				return fmt.Errorf("instr %d reads i%d before any in-braid write", i, in.I2)
+			}
+			if in.IDest {
+				written[in.IDestIdx] = true
+			}
+		}
+	}
+
+	// 4 & 5 & 6: per-block order properties, via the original CFG.
+	g, err := cfg.Build(orig)
+	if err != nil {
+		return err
+	}
+	for bi := range g.Blocks {
+		blk := &g.Blocks[bi]
+		for i := blk.Start; i < blk.End; i++ {
+			ni := res.NewIndex[i]
+			if ni < blk.Start || ni >= blk.End {
+				return fmt.Errorf("instr %d moved out of its block to %d", i, ni)
+			}
+			a := &orig.Instrs[i]
+			if !a.IsMem() {
+				continue
+			}
+			for j := i + 1; j < blk.End; j++ {
+				bb := &orig.Instrs[j]
+				if !bb.IsMem() || (!a.IsStore() && !bb.IsStore()) || !mayAlias(a, bb) {
+					continue
+				}
+				if res.NewIndex[j] < ni {
+					return fmt.Errorf("memory order violated: orig %d (%s) and %d (%s) now %d and %d",
+						i, a, j, bb, ni, res.NewIndex[j])
+				}
+			}
+		}
+		last := &orig.Instrs[blk.End-1]
+		if last.IsBranch() || last.IsHalt() {
+			if res.NewIndex[blk.End-1] != blk.End-1 {
+				return fmt.Errorf("block %d terminator moved from %d to %d", bi, blk.End-1, res.NewIndex[blk.End-1])
+			}
+			nb := &p.Instrs[blk.End-1]
+			if nb.Op != last.Op || nb.Imm != last.Imm {
+				return fmt.Errorf("block %d terminator changed: %s -> %s", bi, last, nb)
+			}
+		}
+	}
+	return nil
+}

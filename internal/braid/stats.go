@@ -1,0 +1,143 @@
+package braid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats aggregates the static braid characterization the paper reports in
+// Tables 1-3. Every "Excl" accessor factors out single-instruction braids,
+// matching the paper's starred numbers.
+type Stats struct {
+	Blocks           int
+	Braids           int
+	Singles          int // single-instruction braids
+	SingleBranchNops int // of those, branches and nops (paper: 56%)
+	Instrs           int
+
+	sumSizeAll, sumSize         int
+	sumWidthAll, sumWidth       float64
+	sumIntAll, sumInt           int
+	sumExtInAll, sumExtIn       int
+	sumExtOutAll, sumExtOut     int
+	sumCritAll, sumCrit         int
+	braidsLE32, braidsCountable int
+}
+
+func computeStats(res *Result, blocks int) Stats {
+	s := Stats{Blocks: blocks, Braids: len(res.Braids), Instrs: len(res.Prog.Instrs)}
+	for i := range res.Braids {
+		b := &res.Braids[i]
+		size := b.Size()
+		s.sumSizeAll += size
+		s.sumWidthAll += b.Width()
+		s.sumIntAll += b.Internals
+		s.sumExtInAll += b.ExtInputs
+		s.sumExtOutAll += b.ExtOutputs
+		s.sumCritAll += b.CritPath
+		s.braidsCountable++
+		if size <= 32 {
+			s.braidsLE32++
+		}
+		if b.Single() {
+			s.Singles++
+			in := &res.Prog.Instrs[b.Start]
+			if in.IsBranch() || in.IsNop() || in.IsHalt() {
+				s.SingleBranchNops++
+			}
+			continue
+		}
+		s.sumSize += size
+		s.sumWidth += b.Width()
+		s.sumInt += b.Internals
+		s.sumExtIn += b.ExtInputs
+		s.sumExtOut += b.ExtOutputs
+		s.sumCrit += b.CritPath
+	}
+	return s
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// BraidsPerBlock is Table 1's unstarred metric (all braids counted).
+func (s *Stats) BraidsPerBlock() float64 { return ratio(float64(s.Braids), float64(s.Blocks)) }
+
+// BraidsPerBlockExcl is Table 1's starred metric (single-instruction braids
+// factored out).
+func (s *Stats) BraidsPerBlockExcl() float64 {
+	return ratio(float64(s.Braids-s.Singles), float64(s.Blocks))
+}
+
+// MeanSize is Table 2's size metric over all braids.
+func (s *Stats) MeanSize() float64 { return ratio(float64(s.sumSizeAll), float64(s.Braids)) }
+
+// MeanSizeExcl is Table 2's starred size metric.
+func (s *Stats) MeanSizeExcl() float64 {
+	return ratio(float64(s.sumSize), float64(s.Braids-s.Singles))
+}
+
+// MeanWidth is Table 2's width metric over all braids.
+func (s *Stats) MeanWidth() float64 { return ratio(s.sumWidthAll, float64(s.Braids)) }
+
+// MeanWidthExcl is Table 2's starred width metric.
+func (s *Stats) MeanWidthExcl() float64 { return ratio(s.sumWidth, float64(s.Braids-s.Singles)) }
+
+// MeanInternals is Table 3's internal-value count per braid.
+func (s *Stats) MeanInternals() float64 { return ratio(float64(s.sumIntAll), float64(s.Braids)) }
+
+// MeanInternalsExcl is the starred variant.
+func (s *Stats) MeanInternalsExcl() float64 {
+	return ratio(float64(s.sumInt), float64(s.Braids-s.Singles))
+}
+
+// MeanExtInputs is Table 3's external-input count per braid.
+func (s *Stats) MeanExtInputs() float64 { return ratio(float64(s.sumExtInAll), float64(s.Braids)) }
+
+// MeanExtInputsExcl is the starred variant.
+func (s *Stats) MeanExtInputsExcl() float64 {
+	return ratio(float64(s.sumExtIn), float64(s.Braids-s.Singles))
+}
+
+// MeanExtOutputs is Table 3's external-output count per braid.
+func (s *Stats) MeanExtOutputs() float64 { return ratio(float64(s.sumExtOutAll), float64(s.Braids)) }
+
+// MeanExtOutputsExcl is the starred variant.
+func (s *Stats) MeanExtOutputsExcl() float64 {
+	return ratio(float64(s.sumExtOut), float64(s.Braids-s.Singles))
+}
+
+// FracSingleInstr is the fraction of all instructions that are
+// single-instruction braids (paper: ~20%).
+func (s *Stats) FracSingleInstr() float64 { return ratio(float64(s.Singles), float64(s.Instrs)) }
+
+// FracSingleBranchNop is the fraction of single-instruction braids that are
+// branches or nops (paper: ~56%).
+func (s *Stats) FracSingleBranchNop() float64 {
+	return ratio(float64(s.SingleBranchNops), float64(s.Singles))
+}
+
+// FracBraidsLE32 is the fraction of braids with at most 32 instructions
+// (paper: 99%, sizing the BEU FIFO of Figure 10).
+func (s *Stats) FracBraidsLE32() float64 {
+	return ratio(float64(s.braidsLE32), float64(s.braidsCountable))
+}
+
+// String renders a compact characterization report.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "blocks=%d braids=%d singles=%d (%.0f%% branch/nop)\n",
+		s.Blocks, s.Braids, s.Singles, 100*s.FracSingleBranchNop())
+	fmt.Fprintf(&b, "braids/block: %.2f (%.2f excl singles)\n", s.BraidsPerBlock(), s.BraidsPerBlockExcl())
+	fmt.Fprintf(&b, "size: %.2f (%.2f) width: %.2f (%.2f)\n",
+		s.MeanSize(), s.MeanSizeExcl(), s.MeanWidth(), s.MeanWidthExcl())
+	fmt.Fprintf(&b, "internals: %.2f (%.2f) ext-in: %.2f (%.2f) ext-out: %.2f (%.2f)\n",
+		s.MeanInternals(), s.MeanInternalsExcl(),
+		s.MeanExtInputs(), s.MeanExtInputsExcl(),
+		s.MeanExtOutputs(), s.MeanExtOutputsExcl())
+	return b.String()
+}

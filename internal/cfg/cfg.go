@@ -1,0 +1,251 @@
+// Package cfg builds control-flow graphs over BRD64 programs and runs the
+// dataflow analyses the braid compiler needs: basic-block discovery,
+// block-local def-use chains, and iterative live-variable analysis. The
+// braid is defined entirely within the basic block (paper §3.4), so these
+// analyses are the full extent of "compiler" infrastructure required.
+package cfg
+
+import (
+	"fmt"
+
+	"braid/internal/isa"
+)
+
+// Block is one basic block: the half-open instruction range [Start, End).
+type Block struct {
+	Index int
+	Start int
+	End   int
+	Succs []int
+	Preds []int
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return b.End - b.Start }
+
+// Graph is the control-flow graph of a program.
+type Graph struct {
+	Prog    *isa.Program
+	Blocks  []Block
+	BlockOf []int // instruction index -> block index
+}
+
+// Build partitions the program into basic blocks and wires successor and
+// predecessor edges. Leaders are instruction 0, every branch target, and
+// every instruction following a branch or halt.
+func Build(p *isa.Program) (*Graph, error) {
+	n := len(p.Instrs)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: empty program %q", p.Name)
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.IsBranch() {
+			t := in.BranchTarget(i)
+			if t < 0 || t >= n {
+				return nil, fmt.Errorf("cfg: instr %d branch target %d out of range", i, t)
+			}
+			leader[t] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+		if in.IsHalt() && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	g := &Graph{Prog: p, BlockOf: make([]int, n)}
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && !leader[j] {
+			j++
+		}
+		g.Blocks = append(g.Blocks, Block{Index: len(g.Blocks), Start: i, End: j})
+		for k := i; k < j; k++ {
+			g.BlockOf[k] = len(g.Blocks) - 1
+		}
+		i = j
+	}
+
+	addEdge := func(from, to int) {
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		last := &p.Instrs[b.End-1]
+		switch {
+		case last.IsHalt():
+			// no successors
+		case last.IsUncondBranch():
+			addEdge(bi, g.BlockOf[last.BranchTarget(b.End-1)])
+		case last.IsCondBranch():
+			addEdge(bi, g.BlockOf[last.BranchTarget(b.End-1)])
+			if b.End < n {
+				addEdge(bi, g.BlockOf[b.End])
+			}
+		default:
+			if b.End < n {
+				addEdge(bi, g.BlockOf[b.End])
+			}
+		}
+	}
+	return g, nil
+}
+
+// RegSet is a bitset over the 64 architectural registers.
+type RegSet uint64
+
+// Add returns s with r included. The zero register is never tracked.
+func (s RegSet) Add(r isa.Reg) RegSet {
+	if !r.Valid() || r == isa.RegZero {
+		return s
+	}
+	return s | 1<<uint(r)
+}
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r isa.Reg) bool {
+	if !r.Valid() || r == isa.RegZero {
+		return false
+	}
+	return s&(1<<uint(r)) != 0
+}
+
+// Count returns the set's cardinality.
+func (s RegSet) Count() int {
+	n := 0
+	for s != 0 {
+		s &= s - 1
+		n++
+	}
+	return n
+}
+
+// Liveness holds per-block live-in/live-out register sets for the external
+// (architectural) register space.
+type Liveness struct {
+	LiveIn  []RegSet
+	LiveOut []RegSet
+}
+
+// ComputeLiveness runs standard backward iterative live-variable analysis.
+// Internal (braid) operands are invisible to it by design: liveness is an
+// external-register property.
+func ComputeLiveness(g *Graph) *Liveness {
+	nb := len(g.Blocks)
+	use := make([]RegSet, nb)
+	def := make([]RegSet, nb)
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		var u, d RegSet
+		var srcs []isa.Reg
+		for i := b.Start; i < b.End; i++ {
+			in := &g.Prog.Instrs[i]
+			srcs = externalSources(in, srcs[:0])
+			for _, r := range srcs {
+				if !d.Has(r) {
+					u = u.Add(r)
+				}
+			}
+			if externalWrite(in) {
+				d = d.Add(in.Dest)
+			}
+		}
+		use[bi], def[bi] = u, d
+	}
+
+	lv := &Liveness{
+		LiveIn:  make([]RegSet, nb),
+		LiveOut: make([]RegSet, nb),
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			var out RegSet
+			for _, s := range g.Blocks[bi].Succs {
+				out |= lv.LiveIn[s]
+			}
+			in := use[bi] | (out &^ def[bi])
+			if out != lv.LiveOut[bi] || in != lv.LiveIn[bi] {
+				lv.LiveOut[bi], lv.LiveIn[bi] = out, in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// externalWrite reports whether the instruction writes an external register.
+// Unbraided code (no I/E bits) writes externally by default.
+func externalWrite(in *isa.Instruction) bool {
+	if !in.WritesReg() {
+		return false
+	}
+	if in.IDest && !in.EDest {
+		return false
+	}
+	return true
+}
+
+// externalSources appends the external source registers of in (skipping
+// internal T-operands and the zero register).
+func externalSources(in *isa.Instruction, dst []isa.Reg) []isa.Reg {
+	info := in.Info()
+	if info.NumSrcs >= 1 && !in.T1 && in.Src1 != isa.RegNone && in.Src1 != isa.RegZero {
+		dst = append(dst, in.Src1)
+	}
+	if info.NumSrcs >= 2 && !in.HasImm && !in.T2 && in.Src2 != isa.RegNone && in.Src2 != isa.RegZero {
+		dst = append(dst, in.Src2)
+	}
+	if info.ReadsDest && !in.IDest && in.Dest != isa.RegNone && in.Dest != isa.RegZero {
+		dst = append(dst, in.Dest)
+	}
+	return dst
+}
+
+// DefUse describes the block-local flow dependencies of one block.
+type DefUse struct {
+	// Producer[i][k] is the in-block instruction index (relative to block
+	// start) producing the k-th external source operand of instruction i
+	// (relative index), or -1 if the value comes from outside the block.
+	Producer [][]int8
+	// SrcReg[i][k] is the register carrying that dependency.
+	SrcReg [][]isa.Reg
+}
+
+// BlockDefUse computes block-local def-use chains for external register
+// operands of the given block. Relative instruction indices are int8 because
+// generated blocks are far smaller than 128 instructions; Build callers must
+// not feed larger blocks (the workload generator and kernels never do).
+func BlockDefUse(g *Graph, bi int) (*DefUse, error) {
+	b := &g.Blocks[bi]
+	if b.Len() > 127 {
+		return nil, fmt.Errorf("cfg: block %d has %d instructions (limit 127)", bi, b.Len())
+	}
+	du := &DefUse{
+		Producer: make([][]int8, b.Len()),
+		SrcReg:   make([][]isa.Reg, b.Len()),
+	}
+	var lastDef [isa.NumArchRegs]int8
+	for i := range lastDef {
+		lastDef[i] = -1
+	}
+	var srcs []isa.Reg
+	for i := b.Start; i < b.End; i++ {
+		in := &g.Prog.Instrs[i]
+		rel := i - b.Start
+		srcs = externalSources(in, srcs[:0])
+		for _, r := range srcs {
+			du.Producer[rel] = append(du.Producer[rel], lastDef[r])
+			du.SrcReg[rel] = append(du.SrcReg[rel], r)
+		}
+		if externalWrite(in) {
+			lastDef[in.Dest] = int8(rel)
+		}
+	}
+	return du, nil
+}

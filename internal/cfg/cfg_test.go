@@ -1,0 +1,194 @@
+package cfg
+
+import (
+	"testing"
+
+	"braid/internal/asm"
+	"braid/internal/isa"
+)
+
+const loopSrc = `
+	ldimm r1, #10
+	ldimm r2, #0
+loop:
+	add   r2, r2, r1
+	sub   r1, r1, #1
+	bgt   r1, loop
+	halt
+`
+
+func mustParse(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildBlocks(t *testing.T) {
+	p := mustParse(t, loopSrc)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks: [0,2) preamble, [2,5) loop body, [5,6) halt.
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(g.Blocks))
+	}
+	want := [][2]int{{0, 2}, {2, 5}, {5, 6}}
+	for i, w := range want {
+		if g.Blocks[i].Start != w[0] || g.Blocks[i].End != w[1] {
+			t.Errorf("block %d = [%d,%d), want [%d,%d)", i, g.Blocks[i].Start, g.Blocks[i].End, w[0], w[1])
+		}
+	}
+	// Edges: 0->1, 1->1 (taken), 1->2 (fallthrough).
+	if len(g.Blocks[0].Succs) != 1 || g.Blocks[0].Succs[0] != 1 {
+		t.Errorf("block 0 succs = %v", g.Blocks[0].Succs)
+	}
+	s := g.Blocks[1].Succs
+	if len(s) != 2 || !(contains(s, 1) && contains(s, 2)) {
+		t.Errorf("block 1 succs = %v", s)
+	}
+	if len(g.Blocks[2].Succs) != 0 {
+		t.Errorf("halt block succs = %v", g.Blocks[2].Succs)
+	}
+	if !contains(g.Blocks[1].Preds, 0) || !contains(g.Blocks[1].Preds, 1) {
+		t.Errorf("block 1 preds = %v", g.Blocks[1].Preds)
+	}
+	for i := range p.Instrs {
+		b := g.Blocks[g.BlockOf[i]]
+		if i < b.Start || i >= b.End {
+			t.Errorf("BlockOf[%d] = %d is wrong", i, g.BlockOf[i])
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBuildUncondBranch(t *testing.T) {
+	p := mustParse(t, `
+	ldimm r1, #1
+	br    end
+	add   r1, r1, #1
+end:
+	halt
+`)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks: [0,2), [2,3) dead, [3,4).
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(g.Blocks))
+	}
+	if len(g.Blocks[0].Succs) != 1 || g.Blocks[0].Succs[0] != 2 {
+		t.Errorf("br block succs = %v", g.Blocks[0].Succs)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	p := mustParse(t, loopSrc)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := ComputeLiveness(g)
+	// r1 and r2 are live around the loop: live-in of block 1 includes both.
+	if !lv.LiveIn[1].Has(1) || !lv.LiveIn[1].Has(2) {
+		t.Errorf("loop live-in missing r1/r2: %b", lv.LiveIn[1])
+	}
+	// Nothing is live out of the halt block.
+	if lv.LiveOut[2] != 0 {
+		t.Errorf("halt live-out = %b, want empty", lv.LiveOut[2])
+	}
+	// Loop block live-out feeds itself: r1, r2 live out of block 1.
+	if !lv.LiveOut[1].Has(1) || !lv.LiveOut[1].Has(2) {
+		t.Errorf("loop live-out = %b", lv.LiveOut[1])
+	}
+	// Block 0 defines r1, r2 so its live-in is empty.
+	if lv.LiveIn[0] != 0 {
+		t.Errorf("entry live-in = %b, want empty", lv.LiveIn[0])
+	}
+}
+
+func TestLivenessKill(t *testing.T) {
+	// r3 is written then read in the same block; not live-in.
+	p := mustParse(t, `
+	ldimm r3, #1
+	add   r4, r3, #2
+	halt
+`)
+	g, _ := Build(p)
+	lv := ComputeLiveness(g)
+	if lv.LiveIn[0].Has(3) {
+		t.Error("killed register reported live-in")
+	}
+}
+
+func TestRegSet(t *testing.T) {
+	var s RegSet
+	s = s.Add(3).Add(40).Add(isa.RegZero) // zero register is never tracked
+	if !s.Has(3) || !s.Has(40) {
+		t.Error("Add/Has broken")
+	}
+	if s.Has(isa.RegZero) {
+		t.Error("zero register tracked")
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d, want 2", s.Count())
+	}
+	if s.Has(isa.RegNone) {
+		t.Error("RegNone tracked")
+	}
+}
+
+func TestBlockDefUse(t *testing.T) {
+	p := mustParse(t, `
+	ldimm r1, #5
+	add   r2, r1, #1
+	add   r3, r1, r2
+	halt
+`)
+	g, _ := Build(p)
+	du, err := BlockDefUse(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instr 1 reads r1 produced at 0.
+	if len(du.Producer[1]) != 1 || du.Producer[1][0] != 0 || du.SrcReg[1][0] != 1 {
+		t.Errorf("instr 1 producers = %v %v", du.Producer[1], du.SrcReg[1])
+	}
+	// Instr 2 reads r1 (prod 0) and r2 (prod 1).
+	if len(du.Producer[2]) != 2 || du.Producer[2][0] != 0 || du.Producer[2][1] != 1 {
+		t.Errorf("instr 2 producers = %v", du.Producer[2])
+	}
+}
+
+func TestBlockDefUseExternalInput(t *testing.T) {
+	p := mustParse(t, `
+	add r2, r1, #1
+	halt
+`)
+	g, _ := Build(p)
+	du, err := BlockDefUse(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(du.Producer[0]) != 1 || du.Producer[0][0] != -1 {
+		t.Errorf("external input producer = %v, want [-1]", du.Producer[0])
+	}
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := Build(&isa.Program{}); err == nil {
+		t.Error("empty program accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package cfg
+
+import "sort"
+
+// Dominators computes the immediate dominator of every reachable block using
+// the Cooper/Harvey/Kennedy iterative algorithm. idom[0] == 0 (the entry
+// dominates itself); unreachable blocks get idom -1.
+func Dominators(g *Graph) []int {
+	n := len(g.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+
+	// Reverse postorder over the CFG.
+	rpo := reversePostorder(g)
+	order := make([]int, n) // block -> RPO index
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range rpo {
+		order[b] = i
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if idom[p] < 0 {
+					continue // predecessor not processed/reachable yet
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func reversePostorder(g *Graph) []int {
+	seen := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// dominates reports whether a dominates b under the idom tree.
+func dominates(idom []int, a, b int) bool {
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 || idom[b] < 0 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// Loop is one natural loop: the header block and every block in the loop
+// body (header included), discovered from a back edge tail→header where the
+// header dominates the tail.
+type Loop struct {
+	Header int
+	Blocks []int // sorted ascending, includes Header
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool {
+	i := sort.SearchInts(l.Blocks, b)
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// NaturalLoops finds all natural loops, merging loops that share a header
+// (multiple back edges to one header form one loop). Loops are returned in
+// ascending header order.
+func NaturalLoops(g *Graph) []Loop {
+	idom := Dominators(g)
+	bodies := map[int]map[int]bool{}
+	for bi := range g.Blocks {
+		if idom[bi] < 0 && bi != 0 {
+			continue // unreachable
+		}
+		for _, s := range g.Blocks[bi].Succs {
+			if !dominates(idom, s, bi) {
+				continue // not a back edge
+			}
+			body := bodies[s]
+			if body == nil {
+				body = map[int]bool{s: true}
+				bodies[s] = body
+			}
+			// Walk predecessors from the tail up to the header.
+			stack := []int{bi}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[b] {
+					continue
+				}
+				body[b] = true
+				for _, p := range g.Blocks[b].Preds {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	headers := make([]int, 0, len(bodies))
+	for h := range bodies {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	loops := make([]Loop, 0, len(headers))
+	for _, h := range headers {
+		blocks := make([]int, 0, len(bodies[h]))
+		for b := range bodies[h] {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		loops = append(loops, Loop{Header: h, Blocks: blocks})
+	}
+	return loops
+}

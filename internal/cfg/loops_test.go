@@ -1,0 +1,147 @@
+package cfg
+
+import (
+	"testing"
+
+	"braid/internal/workload"
+)
+
+func TestDominatorsStraightLine(t *testing.T) {
+	p := mustParse(t, `
+	ldimm r1, #1
+	br a
+a:
+	add r2, r1, #1
+	br b
+b:
+	halt
+`)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idom := Dominators(g)
+	// Chain: each block's idom is its predecessor.
+	for b := 1; b < len(g.Blocks); b++ {
+		if idom[b] != b-1 {
+			t.Errorf("idom[%d] = %d, want %d", b, idom[b], b-1)
+		}
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	p := mustParse(t, `
+	ldimm r1, #1
+	bne r1, right
+	add r2, r1, #1
+	br join
+right:
+	add r3, r1, #2
+join:
+	halt
+`)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idom := Dominators(g)
+	// Blocks: 0 entry, 1 left, 2 right, 3 join. The join's immediate
+	// dominator must be the entry, not either arm.
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.Blocks))
+	}
+	if idom[3] != 0 {
+		t.Errorf("idom[join] = %d, want 0 (the fork)", idom[3])
+	}
+	if idom[1] != 0 || idom[2] != 0 {
+		t.Errorf("arm idoms = %d, %d, want 0, 0", idom[1], idom[2])
+	}
+}
+
+func TestNaturalLoopSimple(t *testing.T) {
+	p := mustParse(t, loopSrc)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := NaturalLoops(g)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 {
+		t.Errorf("header = block %d, want 1", l.Header)
+	}
+	if len(l.Blocks) != 1 || !l.Contains(1) {
+		t.Errorf("loop body = %v, want just the header", l.Blocks)
+	}
+	if l.Contains(0) || l.Contains(2) {
+		t.Error("loop contains blocks outside the cycle")
+	}
+}
+
+func TestNaturalLoopsNested(t *testing.T) {
+	// The matmul kernel has three nested loops plus the seed loop.
+	k, ok := workload.KernelByName("matmul")
+	if !ok {
+		t.Fatal("matmul kernel missing")
+	}
+	g, err := Build(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := NaturalLoops(g)
+	if len(loops) != 4 {
+		t.Fatalf("matmul loops = %d, want 4 (seed + i + j + k)", len(loops))
+	}
+	// Nesting: the innermost (k) loop body is contained in the j loop,
+	// which is contained in the i loop.
+	var sizes []int
+	for _, l := range loops {
+		sizes = append(sizes, len(l.Blocks))
+	}
+	// Find containment chains: exactly one loop contains another of the
+	// three matrix loops, twice over.
+	contains := 0
+	for _, outer := range loops {
+		for _, inner := range loops {
+			if outer.Header == inner.Header {
+				continue
+			}
+			all := true
+			for _, b := range inner.Blocks {
+				if !outer.Contains(b) {
+					all = false
+					break
+				}
+			}
+			if all {
+				contains++
+			}
+		}
+	}
+	if contains != 3 { // i⊃j, i⊃k, j⊃k
+		t.Errorf("containment pairs = %d (sizes %v), want 3", contains, sizes)
+	}
+}
+
+func TestGeneratedProgramLoopShape(t *testing.T) {
+	// Every generated benchmark is one big counted loop: a single natural
+	// loop whose body spans all the body blocks.
+	prof, _ := workload.ProfileByName("gcc")
+	p, err := workload.Generate(prof, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := NaturalLoops(g)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	if got := len(loops[0].Blocks); got < prof.Blocks {
+		t.Errorf("loop spans %d blocks, want >= %d", got, prof.Blocks)
+	}
+}

@@ -1,0 +1,271 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§1 value statistics, Figure 1, Tables 1-3, Figures 5-14, and
+// the §5.1 pipeline-shortening claim). Each experiment runs the benchmark
+// suite through the braid compiler and the cycle-level simulator, normalizes
+// results exactly as the paper does, and reports measured-vs-paper claims.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's output: a benchmark × series value grid plus
+// headline claims compared against the paper.
+type Result struct {
+	ID    string
+	Title string
+
+	Series     []string // column order
+	Benchmarks []string // row order (integer suite then FP suite)
+	fp         map[string]bool
+
+	values map[string]map[string]float64
+
+	Claims []Claim
+	Notes  []string
+}
+
+// Claim is one headline number the paper states, with our measurement.
+type Claim struct {
+	Desc     string
+	Paper    float64
+	Measured float64
+}
+
+func newResult(id, title string) *Result {
+	return &Result{
+		ID:     id,
+		Title:  title,
+		fp:     map[string]bool{},
+		values: map[string]map[string]float64{},
+	}
+}
+
+// Set records a value for one benchmark and series.
+func (r *Result) Set(bench string, fp bool, series string, v float64) {
+	if r.values[bench] == nil {
+		r.values[bench] = map[string]float64{}
+		r.Benchmarks = append(r.Benchmarks, bench)
+		r.fp[bench] = fp
+	}
+	if _, seen := r.values[bench][series]; !seen {
+		found := false
+		for _, s := range r.Series {
+			if s == series {
+				found = true
+				break
+			}
+		}
+		if !found {
+			r.Series = append(r.Series, series)
+		}
+	}
+	r.values[bench][series] = v
+}
+
+// Get returns the value for bench × series.
+func (r *Result) Get(bench, series string) (float64, bool) {
+	m, ok := r.values[bench]
+	if !ok {
+		return 0, false
+	}
+	v, ok := m[series]
+	return v, ok
+}
+
+// Average returns the arithmetic mean of a series over a benchmark subset:
+// "int", "fp", or "all" — the same averaging the paper's figures use.
+func (r *Result) Average(series, subset string) float64 {
+	var sum float64
+	n := 0
+	for _, b := range r.Benchmarks {
+		switch subset {
+		case "int":
+			if r.fp[b] {
+				continue
+			}
+		case "fp":
+			if !r.fp[b] {
+				continue
+			}
+		}
+		if v, ok := r.values[b][series]; ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AddClaim records a measured-vs-paper headline.
+func (r *Result) AddClaim(desc string, paper, measured float64) {
+	r.Claims = append(r.Claims, Claim{Desc: desc, Paper: paper, Measured: measured})
+}
+
+// String renders the result as an aligned text table with int/fp/overall
+// average rows, followed by claims.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+
+	cols := append([]string{"benchmark"}, r.Series...)
+	width := make([]int, len(cols))
+	for i, c := range cols {
+		width[i] = len(c)
+	}
+	rows := make([][]string, 0, len(r.Benchmarks)+3)
+	addRow := func(name string, vals func(series string) (float64, bool)) {
+		row := []string{name}
+		for _, s := range r.Series {
+			cell := "-"
+			if v, ok := vals(s); ok {
+				cell = fmt.Sprintf("%.3f", v)
+			}
+			row = append(row, cell)
+		}
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, bench := range r.Benchmarks {
+		bench := bench
+		addRow(bench, func(s string) (float64, bool) {
+			v, ok := r.values[bench][s]
+			return v, ok
+		})
+	}
+	for _, sub := range []string{"int", "fp", "all"} {
+		sub := sub
+		has := false
+		for _, bench := range r.Benchmarks {
+			if (sub == "int" && !r.fp[bench]) || (sub == "fp" && r.fp[bench]) || sub == "all" {
+				has = true
+			}
+		}
+		if !has {
+			continue
+		}
+		addRow("avg-"+sub, func(s string) (float64, bool) {
+			return r.Average(s, sub), true
+		})
+	}
+
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i]+2, c)
+			} else {
+				fmt.Fprintf(&b, "%*s", width[i]+2, c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(cols)
+	for _, row := range rows {
+		line(row)
+	}
+	if len(r.Claims) > 0 {
+		b.WriteString("claims:\n")
+		for _, c := range r.Claims {
+			fmt.Fprintf(&b, "  %-58s paper %7.3f   measured %7.3f\n", c.Desc, c.Paper, c.Measured)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the result as a GitHub-flavored markdown section.
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "| benchmark | %s |\n", strings.Join(r.Series, " | "))
+	b.WriteString("|---|" + strings.Repeat("---|", len(r.Series)) + "\n")
+	emit := func(name string, get func(string) (float64, bool)) {
+		cells := make([]string, 0, len(r.Series))
+		for _, s := range r.Series {
+			if v, ok := get(s); ok {
+				cells = append(cells, fmt.Sprintf("%.3f", v))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s |\n", name, strings.Join(cells, " | "))
+	}
+	for _, bench := range r.Benchmarks {
+		bench := bench
+		emit(bench, func(s string) (float64, bool) { v, ok := r.values[bench][s]; return v, ok })
+	}
+	for _, sub := range []string{"int", "fp", "all"} {
+		sub := sub
+		emit("**avg-"+sub+"**", func(s string) (float64, bool) { return r.Average(s, sub), true })
+	}
+	if len(r.Claims) > 0 {
+		b.WriteString("\n| claim | paper | measured |\n|---|---|---|\n")
+		for _, c := range r.Claims {
+			fmt.Fprintf(&b, "| %s | %.3f | %.3f |\n", c.Desc, c.Paper, c.Measured)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// CSV renders the grid as comma-separated values (benchmark rows, series
+// columns, average rows appended), for plotting outside Go.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("benchmark")
+	for _, s := range r.Series {
+		b.WriteString(",")
+		b.WriteString(s)
+	}
+	b.WriteString("\n")
+	emit := func(name string, get func(string) (float64, bool)) {
+		b.WriteString(name)
+		for _, s := range r.Series {
+			b.WriteString(",")
+			if v, ok := get(s); ok {
+				fmt.Fprintf(&b, "%.6g", v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, bench := range r.Benchmarks {
+		bench := bench
+		emit(bench, func(s string) (float64, bool) { v, ok := r.values[bench][s]; return v, ok })
+	}
+	for _, sub := range []string{"int", "fp", "all"} {
+		sub := sub
+		emit("avg-"+sub, func(s string) (float64, bool) { return r.Average(s, sub), true })
+	}
+	return b.String()
+}
+
+// sortSeries orders series by the given explicit order (used when series are
+// inserted from parallel loops).
+func (r *Result) sortSeries(order []string) {
+	pos := map[string]int{}
+	for i, s := range order {
+		pos[s] = i
+	}
+	sort.SliceStable(r.Series, func(i, j int) bool {
+		pi, iok := pos[r.Series[i]]
+		pj, jok := pos[r.Series[j]]
+		if iok && jok {
+			return pi < pj
+		}
+		return iok && !jok
+	})
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"braid/internal/braid"
+	"braid/internal/interp"
+	"braid/internal/isa"
+	"braid/internal/uarch"
+	"braid/internal/workload"
+)
+
+// Bench is one prepared benchmark: the generated program, its braided
+// translation, and cached characterization.
+type Bench struct {
+	Name    string
+	FP      bool
+	Profile workload.Profile
+	Orig    *isa.Program
+	Braided *isa.Program
+	Compile *braid.Result
+
+	DynStats   braid.Stats        // execution-weighted Tables 1-3 statistics
+	ValueStats *interp.ValueStats // §1 fanout/lifetime statistics
+	DynInstrs  uint64
+}
+
+// Workloads is the prepared suite plus a simulation cache.
+type Workloads struct {
+	Benches []*Bench
+	memo    map[memoKey]float64
+}
+
+type memoKey struct {
+	bench   string
+	braided bool
+	cfg     uarch.Config
+}
+
+// LoadSuite generates and braids all 26 benchmarks, each calibrated to about
+// dynTarget dynamic instructions, and precomputes their characterization.
+func LoadSuite(dynTarget uint64) (*Workloads, error) {
+	if dynTarget < 1000 {
+		return nil, fmt.Errorf("experiments: dynTarget %d too small", dynTarget)
+	}
+	w := &Workloads{memo: map[memoKey]float64{}}
+	for _, prof := range workload.Profiles() {
+		b, err := prepare(prof, dynTarget)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", prof.Name, err)
+		}
+		w.Benches = append(w.Benches, b)
+	}
+	return w, nil
+}
+
+func prepare(prof workload.Profile, dynTarget uint64) (*Bench, error) {
+	// Calibrate the iteration count with a short probe run.
+	const probeIters = 8
+	probe, err := workload.Generate(prof, probeIters)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := interp.RunProgram(probe, 10_000_000)
+	if err != nil {
+		return nil, err
+	}
+	perIter := fs.Steps / probeIters
+	if perIter == 0 {
+		perIter = 1
+	}
+	iters := int(dynTarget / perIter)
+	if iters < 4 {
+		iters = 4
+	}
+	if iters > isa.ImmMax {
+		iters = isa.ImmMax
+	}
+
+	orig, err := workload.Generate(prof, iters)
+	if err != nil {
+		return nil, err
+	}
+	res, err := braid.Compile(orig, braid.Options{})
+	if err != nil {
+		return nil, err
+	}
+	b := &Bench{
+		Name:    prof.Name,
+		FP:      prof.FP,
+		Profile: prof,
+		Orig:    orig,
+		Braided: res.Prog,
+		Compile: res,
+	}
+
+	// Execution-weighted braid statistics (Tables 1-3).
+	ds := braid.NewDynamicStats(res)
+	m := interp.New(res.Prog)
+	steps, err := m.Run(50_000_000, func(si *interp.StepInfo) { ds.OnRetire(si.Index) })
+	if err != nil {
+		return nil, err
+	}
+	b.DynStats = ds.Stats()
+	b.DynInstrs = steps
+
+	// §1 value fanout/lifetime statistics over the original program.
+	vs, err := interp.Characterize(orig, 50_000_000)
+	if err != nil {
+		return nil, err
+	}
+	b.ValueStats = vs
+	return b, nil
+}
+
+// IPC simulates one benchmark under cfg (braided selects the braid-compiled
+// binary) and caches the result.
+func (w *Workloads) IPC(b *Bench, braided bool, cfg uarch.Config) (float64, error) {
+	key := memoKey{b.Name, braided, cfg}
+	if v, ok := w.memo[key]; ok {
+		return v, nil
+	}
+	p := b.Orig
+	if braided {
+		p = b.Braided
+	}
+	st, err := uarch.Simulate(p, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("%s (%s braided=%v): %w", b.Name, cfg.Core, braided, err)
+	}
+	ipc := st.IPC()
+	w.memo[key] = ipc
+	return ipc, nil
+}

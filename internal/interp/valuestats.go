@@ -1,0 +1,175 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"braid/internal/isa"
+)
+
+// ValueStats accumulates the dynamic value fanout and lifetime statistics
+// that motivate the braid (paper §1): on SPEC CPU2000, over 70% of values are
+// read exactly once, about 90% at most twice, about 4% are never read, and
+// about 80% of values live 32 instructions or fewer. Following the paper,
+// only values propagated through the register space are considered.
+//
+// Feed it every StepInfo from an interpreter run, then Finish and read the
+// histograms. A value is one dynamic register write; its fanout is the number
+// of dynamic reads before it is overwritten; its lifetime is the dynamic
+// instruction distance from the producer to the last consumer.
+type ValueStats struct {
+	// Fanout[k] counts values read exactly k times (k capped at MaxFanout).
+	Fanout [MaxFanout + 1]uint64
+	// Lifetime[i] counts values whose producer-to-last-consumer distance
+	// falls in bucket i of LifetimeBuckets; the final bucket is overflow.
+	Lifetime [len(LifetimeBuckets) + 1]uint64
+
+	TotalValues uint64
+
+	live [isa.NumArchRegs]liveValue
+}
+
+// MaxFanout caps the fanout histogram; larger fanouts accumulate in the last
+// bin.
+const MaxFanout = 8
+
+// LifetimeBuckets are the inclusive upper bounds of the lifetime histogram
+// bins, in dynamic instructions. 32 is the paper's headline bucket (four
+// cycles of an 8-wide machine).
+var LifetimeBuckets = [...]uint64{4, 8, 16, 32, 64, 128, 256}
+
+type liveValue struct {
+	valid    bool
+	born     uint64 // dynamic instruction number of the producer
+	lastRead uint64
+	reads    uint64
+}
+
+// Observe records the register effects of one executed instruction. step is
+// the dynamic instruction number (machine.Steps after the step).
+func (vs *ValueStats) Observe(info *StepInfo, step uint64) {
+	for i := 0; i < 3; i++ {
+		r := info.SrcRegs[i]
+		if i >= info.SrcCount && r == isa.RegNone {
+			continue
+		}
+		if r == isa.RegNone || r == isa.RegZero || !r.Valid() {
+			continue
+		}
+		lv := &vs.live[r]
+		if lv.valid {
+			lv.reads++
+			lv.lastRead = step
+		}
+	}
+	if info.WroteReg && info.DestReg != isa.RegNone && info.DestReg != isa.RegZero {
+		lv := &vs.live[info.DestReg]
+		if lv.valid {
+			vs.retire(lv)
+		}
+		*lv = liveValue{valid: true, born: step}
+	}
+}
+
+func (vs *ValueStats) retire(lv *liveValue) {
+	vs.TotalValues++
+	f := lv.reads
+	if f > MaxFanout {
+		f = MaxFanout
+	}
+	vs.Fanout[f]++
+	if lv.reads > 0 {
+		life := lv.lastRead - lv.born
+		b := len(LifetimeBuckets)
+		for i, ub := range LifetimeBuckets {
+			if life <= ub {
+				b = i
+				break
+			}
+		}
+		vs.Lifetime[b]++
+	}
+}
+
+// Finish retires all still-live values as if overwritten at program end.
+func (vs *ValueStats) Finish() {
+	for r := range vs.live {
+		if vs.live[r].valid {
+			vs.retire(&vs.live[r])
+			vs.live[r] = liveValue{}
+		}
+	}
+}
+
+// FanoutCDF returns the fraction of values read at most k times.
+func (vs *ValueStats) FanoutCDF(k int) float64 {
+	if vs.TotalValues == 0 {
+		return 0
+	}
+	var sum uint64
+	for i := 0; i <= k && i <= MaxFanout; i++ {
+		sum += vs.Fanout[i]
+	}
+	return float64(sum) / float64(vs.TotalValues)
+}
+
+// FracUnused returns the fraction of values that are produced but never read.
+func (vs *ValueStats) FracUnused() float64 {
+	if vs.TotalValues == 0 {
+		return 0
+	}
+	return float64(vs.Fanout[0]) / float64(vs.TotalValues)
+}
+
+// FracUsedOnce returns the fraction of values read exactly once.
+func (vs *ValueStats) FracUsedOnce() float64 {
+	if vs.TotalValues == 0 {
+		return 0
+	}
+	return float64(vs.Fanout[1]) / float64(vs.TotalValues)
+}
+
+// LifetimeCDF returns the fraction of *consumed* values whose lifetime is at
+// most bound dynamic instructions. bound must be one of LifetimeBuckets.
+func (vs *ValueStats) LifetimeCDF(bound uint64) float64 {
+	var total, sum uint64
+	for i := range vs.Lifetime {
+		total += vs.Lifetime[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	for i, ub := range LifetimeBuckets {
+		if ub <= bound {
+			sum += vs.Lifetime[i]
+		}
+	}
+	return float64(sum) / float64(total)
+}
+
+// String renders the histograms as a small report.
+func (vs *ValueStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "values: %d\n", vs.TotalValues)
+	fmt.Fprintf(&b, "fanout: unused=%.1f%% once=%.1f%% ≤2=%.1f%%\n",
+		100*vs.FracUnused(), 100*vs.FracUsedOnce(), 100*vs.FanoutCDF(2))
+	for _, ub := range LifetimeBuckets {
+		fmt.Fprintf(&b, "lifetime ≤%3d: %.1f%%\n", ub, 100*vs.LifetimeCDF(ub))
+	}
+	return b.String()
+}
+
+// Characterize runs p to completion under the interpreter, collecting value
+// statistics.
+func Characterize(p *isa.Program, maxSteps uint64) (*ValueStats, error) {
+	m := New(p)
+	vs := &ValueStats{}
+	_, err := m.Run(maxSteps, func(info *StepInfo) {
+		vs.Observe(info, m.Steps)
+	})
+	if err != nil {
+		return nil, err
+	}
+	vs.Finish()
+	return vs, nil
+}

@@ -1,0 +1,194 @@
+package isa
+
+import "fmt"
+
+// BRD64 instructions encode to a fixed 64-bit word:
+//
+//	bits  0-7   opcode
+//	bits  8-13  dest register
+//	bits 14-19  src1 register
+//	bits 20-25  src2 register
+//	bit  26     hasImm (src2 replaced by immediate)
+//	bit  27     S  braid start
+//	bit  28     T1 src1 is internal
+//	bit  29     T2 src2 is internal
+//	bit  30     I  write internal destination
+//	bit  31     E  write external destination
+//	bits 32-34  internal destination index
+//	bits 35-37  internal src1 index
+//	bits 38-40  internal src2 index
+//	bits 41-44  alias class
+//	bits 45-63  immediate, 19-bit two's complement
+const (
+	// ImmBits is the width of the immediate field.
+	ImmBits = 19
+	// ImmMax and ImmMin bound the encodable immediate/displacement.
+	ImmMax = 1<<(ImmBits-1) - 1
+	ImmMin = -(1 << (ImmBits - 1))
+	// MaxAliasClass is the largest encodable alias class.
+	MaxAliasClass = 15
+)
+
+// Encode packs the instruction into its 64-bit word. It returns an error if
+// any field is out of encodable range.
+func (in *Instruction) Encode() (uint64, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", uint8(in.Op))
+	}
+	if in.Imm > ImmMax || in.Imm < ImmMin {
+		return 0, fmt.Errorf("isa: encode %s: immediate %d out of range [%d,%d]", in.Op, in.Imm, ImmMin, ImmMax)
+	}
+	if in.AliasClass > MaxAliasClass {
+		return 0, fmt.Errorf("isa: encode %s: alias class %d out of range", in.Op, in.AliasClass)
+	}
+	if in.IDestIdx >= NumInternalRegs || in.I1 >= NumInternalRegs || in.I2 >= NumInternalRegs {
+		return 0, fmt.Errorf("isa: encode %s: internal register index out of range", in.Op)
+	}
+	regField := func(r Reg) (uint64, error) {
+		if r == RegNone {
+			return 0, nil
+		}
+		if !r.Valid() {
+			return 0, fmt.Errorf("isa: encode %s: bad register %d", in.Op, uint8(r))
+		}
+		return uint64(r), nil
+	}
+	d, err := regField(in.Dest)
+	if err != nil {
+		return 0, err
+	}
+	s1, err := regField(in.Src1)
+	if err != nil {
+		return 0, err
+	}
+	s2, err := regField(in.Src2)
+	if err != nil {
+		return 0, err
+	}
+	w := uint64(in.Op)
+	w |= d << 8
+	w |= s1 << 14
+	w |= s2 << 20
+	if in.HasImm {
+		w |= 1 << 26
+	}
+	if in.Start {
+		w |= 1 << 27
+	}
+	if in.T1 {
+		w |= 1 << 28
+	}
+	if in.T2 {
+		w |= 1 << 29
+	}
+	if in.IDest {
+		w |= 1 << 30
+	}
+	if in.EDest {
+		w |= 1 << 31
+	}
+	w |= uint64(in.IDestIdx) << 32
+	w |= uint64(in.I1) << 35
+	w |= uint64(in.I2) << 38
+	w |= uint64(in.AliasClass) << 41
+	w |= (uint64(uint32(in.Imm)) & (1<<ImmBits - 1)) << 45
+	return w, nil
+}
+
+// Decode unpacks a 64-bit instruction word. Operand fields that the opcode
+// does not use are normalized to RegNone/zero so that Decode(Encode(x))
+// reproduces a canonical instruction exactly.
+func Decode(w uint64) (Instruction, error) {
+	op := Opcode(w & 0xff)
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: decode: invalid opcode %d", uint8(op))
+	}
+	info := &opTable[op]
+	in := Instruction{
+		Op:         op,
+		Dest:       Reg(w >> 8 & 0x3f),
+		Src1:       Reg(w >> 14 & 0x3f),
+		Src2:       Reg(w >> 20 & 0x3f),
+		HasImm:     w>>26&1 != 0,
+		Start:      w>>27&1 != 0,
+		T1:         w>>28&1 != 0,
+		T2:         w>>29&1 != 0,
+		IDest:      w>>30&1 != 0,
+		EDest:      w>>31&1 != 0,
+		IDestIdx:   uint8(w >> 32 & 7),
+		I1:         uint8(w >> 35 & 7),
+		I2:         uint8(w >> 38 & 7),
+		AliasClass: uint8(w >> 41 & 0xf),
+	}
+	imm := uint32(w >> 45 & (1<<ImmBits - 1))
+	// Sign-extend the 19-bit immediate.
+	in.Imm = int32(imm<<(32-ImmBits)) >> (32 - ImmBits)
+	// Normalize unused fields.
+	if !info.HasDest {
+		in.Dest = RegNone
+		in.IDest, in.EDest, in.IDestIdx = false, false, 0
+	}
+	if in.IDest && !in.EDest {
+		in.Dest = RegNone
+	}
+	if in.T1 {
+		in.Src1 = RegNone
+	} else {
+		in.I1 = 0
+	}
+	if in.T2 {
+		in.Src2 = RegNone
+	} else {
+		in.I2 = 0
+	}
+	if info.NumSrcs < 1 {
+		in.Src1, in.T1, in.I1 = RegNone, false, 0
+	}
+	if info.NumSrcs < 2 || in.HasImm {
+		in.Src2, in.T2, in.I2 = RegNone, false, 0
+	}
+	if !in.IDest {
+		in.IDestIdx = 0
+	}
+	if !in.IsMem() {
+		in.AliasClass = 0
+	}
+	return in, nil
+}
+
+// Canonicalize zeroes the fields of in that its opcode does not use, so that
+// the instruction round-trips through Encode/Decode unchanged. It returns in
+// for chaining.
+func (in *Instruction) Canonicalize() *Instruction {
+	info := &opTable[in.Op]
+	if !info.HasDest {
+		in.Dest = RegNone
+		in.IDest, in.EDest, in.IDestIdx = false, false, 0
+	}
+	if in.IDest && !in.EDest {
+		in.Dest = RegNone
+	}
+	if in.T1 {
+		in.Src1 = RegNone
+	} else {
+		in.I1 = 0
+	}
+	if in.T2 {
+		in.Src2 = RegNone
+	} else {
+		in.I2 = 0
+	}
+	if info.NumSrcs < 1 {
+		in.Src1, in.T1, in.I1 = RegNone, false, 0
+	}
+	if info.NumSrcs < 2 || in.HasImm {
+		in.Src2, in.T2, in.I2 = RegNone, false, 0
+	}
+	if !in.IDest {
+		in.IDestIdx = 0
+	}
+	if !in.IsMem() {
+		in.AliasClass = 0
+	}
+	return in
+}

@@ -1,0 +1,105 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary program images (.brd files) let the braid compiler's output be
+// stored and reloaded, the way the paper's binary translation tool rewrote
+// Alpha executables. The format is little-endian:
+//
+//	offset  size  field
+//	0       8     magic "BRD64\x00\x01\x00" (includes a format version)
+//	8       4     name length N
+//	12      4     instruction count I
+//	16      4     data segment length D
+//	20      4     flags (bit 0: FP program)
+//	24      N     name bytes
+//	.       8*I   instruction words (Instruction.Encode)
+//	.       D     data segment
+//
+// Labels are not stored: they are assembler conveniences, not semantics.
+var imageMagic = [8]byte{'B', 'R', 'D', '6', '4', 0, 1, 0}
+
+// imageLimit bounds the declared sizes a reader will accept (64 MiB of
+// instructions or data), so corrupt headers cannot trigger huge allocations.
+const imageLimit = 8 << 20
+
+// WriteImage serializes the program to w in .brd format.
+func WriteImage(w io.Writer, p *Program) error {
+	words, err := p.EncodeAll()
+	if err != nil {
+		return fmt.Errorf("isa: image: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(imageMagic[:])
+	var flags uint32
+	if p.FP {
+		flags |= 1
+	}
+	hdr := []uint32{uint32(len(p.Name)), uint32(len(words)), uint32(len(p.Data)), flags}
+	for _, v := range hdr {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	buf.WriteString(p.Name)
+	for _, word := range words {
+		if err := binary.Write(&buf, binary.LittleEndian, word); err != nil {
+			return err
+		}
+	}
+	buf.Write(p.Data)
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// ReadImage deserializes a .brd image and validates the program.
+func ReadImage(r io.Reader) (*Program, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("isa: image: reading magic: %w", err)
+	}
+	if magic != imageMagic {
+		return nil, fmt.Errorf("isa: image: bad magic %q", magic[:])
+	}
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("isa: image: reading header: %w", err)
+		}
+	}
+	nameLen, instrs, dataLen, flags := hdr[0], hdr[1], hdr[2], hdr[3]
+	if nameLen > 4096 || instrs > imageLimit || dataLen > imageLimit {
+		return nil, fmt.Errorf("isa: image: implausible sizes (name %d, instrs %d, data %d)", nameLen, instrs, dataLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("isa: image: reading name: %w", err)
+	}
+	words := make([]uint64, instrs)
+	if err := binary.Read(r, binary.LittleEndian, words); err != nil {
+		return nil, fmt.Errorf("isa: image: reading instructions: %w", err)
+	}
+	ins, err := DecodeAll(words)
+	if err != nil {
+		return nil, fmt.Errorf("isa: image: %w", err)
+	}
+	data := make([]byte, dataLen)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("isa: image: reading data: %w", err)
+	}
+	p := &Program{
+		Name:   string(name),
+		Instrs: ins,
+		Data:   data,
+		FP:     flags&1 != 0,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: image: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,246 @@
+// Package isa defines BRD64, the Alpha-like load/store instruction set used
+// throughout this repository, including the braid extensions proposed by
+// Tseng and Patt (ISCA 2008): the braid-start bit (S), the temporary-source
+// bits (T) that redirect a source operand to the internal register file, and
+// the internal/external destination bits (I/E) that steer a result to the
+// internal register file, the external register file, or both.
+//
+// BRD64 has 32 integer registers (r31 reads as zero), 32 floating-point
+// registers, and a fixed-width 64-bit instruction encoding. The encoding is
+// deliberately wider than the paper's Figure 3 so that a dual-destination
+// instruction (I and E both set) can name the internal index and the external
+// register independently; the paper's figure leaves that case ambiguous.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register operand. Values 0-31 are the integer
+// registers r0-r31, values 32-63 are the floating-point registers f0-f31.
+// RegZero (r31) always reads as zero and discards writes. RegNone marks an
+// absent operand.
+type Reg uint8
+
+// Architectural register constants.
+const (
+	RegZero Reg = 31  // r31: hardwired zero
+	RegF0   Reg = 32  // first floating-point register
+	RegNone Reg = 255 // absent operand
+
+	// NumIntRegs and NumFPRegs size the two architectural banks.
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	// NumArchRegs is the total architectural register namespace.
+	NumArchRegs = NumIntRegs + NumFPRegs
+
+	// NumInternalRegs is the size of a braid execution unit's internal
+	// register file. The paper determined 8 entries suffice for the
+	// working set of nearly all braids (§3.1).
+	NumInternalRegs = 8
+)
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= RegF0 && r < NumArchRegs }
+
+// Valid reports whether r names a real architectural register.
+func (r Reg) Valid() bool { return r < NumArchRegs }
+
+// String renders r in assembly syntax (r5, f3, none).
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "none"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", r-RegF0)
+	case r.Valid():
+		return fmt.Sprintf("r%d", r)
+	default:
+		return fmt.Sprintf("reg?%d", uint8(r))
+	}
+}
+
+// Class groups opcodes by the functional-unit pipeline that executes them and
+// therefore by latency.
+type Class uint8
+
+// Functional-unit classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+)
+
+var classNames = [...]string{
+	ClassNop:    "nop",
+	ClassIntALU: "ialu",
+	ClassIntMul: "imul",
+	ClassIntDiv: "idiv",
+	ClassFPAdd:  "fadd",
+	ClassFPMul:  "fmul",
+	ClassFPDiv:  "fdiv",
+	ClassLoad:   "load",
+	ClassStore:  "store",
+	ClassBranch: "branch",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class?%d", uint8(c))
+}
+
+// Instruction is the decoded form of one BRD64 instruction. The zero value is
+// a NOP. Fields Start, T1, T2, IDest, EDest and IDestIdx are the braid ISA
+// extensions; a non-braided program leaves them all false/zero except EDest,
+// which the braid compiler sets for every external write.
+type Instruction struct {
+	Op   Opcode
+	Dest Reg // destination register (RegNone if the opcode writes nothing)
+	Src1 Reg // first source (RegNone if unused)
+	Src2 Reg // second source (RegNone if unused or replaced by Imm)
+
+	Imm    int32 // immediate operand / memory displacement / branch offset
+	HasImm bool  // Src2 is replaced by Imm
+
+	// AliasClass is compiler metadata used for static memory
+	// disambiguation: two memory instructions with different non-zero
+	// alias classes provably never access the same location. Class 0
+	// means "may alias anything". It mimics the paper's stack/non-stack
+	// disambiguation by the profiling tool (§3.1).
+	AliasClass uint8
+
+	// Braid extension bits (paper §3.2, Figure 3).
+	Start    bool  // S: first instruction of a braid
+	T1, T2   bool  // source operand n reads the internal register file
+	I1, I2   uint8 // internal register index for source n when Tn is set
+	IDest    bool  // I: result is written to the internal register file
+	EDest    bool  // E: result is written to the external register file
+	IDestIdx uint8 // internal register index when IDest is set
+}
+
+// Info returns the opcode metadata table entry for in.Op.
+func (in *Instruction) Info() *OpInfo { return &opTable[in.Op] }
+
+// IsNop reports whether the instruction has no architectural effect.
+func (in *Instruction) IsNop() bool { return in.Op == OpNOP }
+
+// IsBranch reports whether the instruction is any control-flow transfer.
+func (in *Instruction) IsBranch() bool { return opTable[in.Op].Flow != flowNone }
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in *Instruction) IsCondBranch() bool { return opTable[in.Op].Flow == flowCond }
+
+// IsUncondBranch reports whether the instruction is an unconditional jump.
+func (in *Instruction) IsUncondBranch() bool { return opTable[in.Op].Flow == flowUncond }
+
+// IsLoad reports whether the instruction reads memory.
+func (in *Instruction) IsLoad() bool { return opTable[in.Op].Class == ClassLoad }
+
+// IsStore reports whether the instruction writes memory.
+func (in *Instruction) IsStore() bool { return opTable[in.Op].Class == ClassStore }
+
+// IsMem reports whether the instruction accesses memory.
+func (in *Instruction) IsMem() bool { return in.IsLoad() || in.IsStore() }
+
+// IsHalt reports whether the instruction terminates the program.
+func (in *Instruction) IsHalt() bool { return in.Op == OpHALT }
+
+// WritesReg reports whether the instruction produces a register result.
+func (in *Instruction) WritesReg() bool {
+	return opTable[in.Op].HasDest && in.Dest != RegNone
+}
+
+// ReadsDest reports whether the instruction also reads its destination
+// register before writing it (conditional moves, which only overwrite the
+// destination when the condition holds).
+func (in *Instruction) ReadsDest() bool { return opTable[in.Op].ReadsDest }
+
+// SrcRegs appends the architectural registers read by the instruction to dst
+// and returns it. The hardwired zero register is included; callers that track
+// dataflow typically skip RegZero themselves. For instructions with
+// ReadsDest, the destination is included as a source.
+func (in *Instruction) SrcRegs(dst []Reg) []Reg {
+	info := &opTable[in.Op]
+	if info.NumSrcs >= 1 && in.Src1 != RegNone {
+		dst = append(dst, in.Src1)
+	}
+	if info.NumSrcs >= 2 && !in.HasImm && in.Src2 != RegNone {
+		dst = append(dst, in.Src2)
+	}
+	if info.ReadsDest && in.Dest != RegNone {
+		dst = append(dst, in.Dest)
+	}
+	return dst
+}
+
+// BranchTarget returns the index of the instruction this branch jumps to,
+// given the branch's own index. The offset is relative to the next
+// instruction, as in most RISC encodings.
+func (in *Instruction) BranchTarget(selfIndex int) int {
+	return selfIndex + 1 + int(in.Imm)
+}
+
+// SetBranchTarget sets Imm so the branch at selfIndex jumps to target.
+func (in *Instruction) SetBranchTarget(selfIndex, target int) {
+	in.Imm = int32(target - selfIndex - 1)
+}
+
+// String renders the instruction in assembly-like syntax, including braid
+// annotations when present.
+func (in *Instruction) String() string {
+	info := &opTable[in.Op]
+	s := ""
+	if in.Start {
+		s += "S| "
+	}
+	s += info.Name
+	operand := func(r Reg, t bool, idx uint8) string {
+		if t {
+			return fmt.Sprintf("i%d", idx)
+		}
+		return r.String()
+	}
+	switch {
+	case in.Op == OpNOP || in.Op == OpHALT:
+		// no operands
+	case in.IsStore():
+		s += fmt.Sprintf(" %s, %d(%s)", operand(in.Src1, in.T1, in.I1), in.Imm, operand(in.Src2, in.T2, in.I2))
+	case in.IsLoad():
+		s += fmt.Sprintf(" %s, %d(%s)", in.destString(), in.Imm, operand(in.Src1, in.T1, in.I1))
+	case in.IsCondBranch():
+		s += fmt.Sprintf(" %s, %+d", operand(in.Src1, in.T1, in.I1), in.Imm)
+	case in.IsUncondBranch():
+		s += fmt.Sprintf(" %+d", in.Imm)
+	default:
+		s += " " + in.destString()
+		if info.NumSrcs >= 1 {
+			s += ", " + operand(in.Src1, in.T1, in.I1)
+		}
+		if info.NumSrcs >= 2 {
+			if in.HasImm {
+				s += fmt.Sprintf(", #%d", in.Imm)
+			} else {
+				s += ", " + operand(in.Src2, in.T2, in.I2)
+			}
+		}
+	}
+	return s
+}
+
+func (in *Instruction) destString() string {
+	switch {
+	case in.IDest && in.EDest:
+		return fmt.Sprintf("i%d/%s", in.IDestIdx, in.Dest)
+	case in.IDest:
+		return fmt.Sprintf("i%d", in.IDestIdx)
+	default:
+		return in.Dest.String()
+	}
+}

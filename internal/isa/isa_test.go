@@ -1,0 +1,313 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{0, "r0"},
+		{5, "r5"},
+		{31, "r31"},
+		{32, "f0"},
+		{63, "f31"},
+		{RegNone, "none"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", uint8(c.r), got, c.want)
+		}
+	}
+}
+
+func TestRegIsFP(t *testing.T) {
+	if Reg(31).IsFP() {
+		t.Error("r31 classified as FP")
+	}
+	if !Reg(32).IsFP() {
+		t.Error("f0 not classified as FP")
+	}
+	if !Reg(63).IsFP() {
+		t.Error("f31 not classified as FP")
+	}
+	if RegNone.IsFP() {
+		t.Error("RegNone classified as FP")
+	}
+}
+
+func TestOpcodeTableComplete(t *testing.T) {
+	for op := Opcode(0); op < Opcode(NumOpcodes); op++ {
+		info := &opTable[op]
+		if info.Name == "" {
+			t.Errorf("opcode %d has no table entry", op)
+			continue
+		}
+		back, ok := OpcodeByName(info.Name)
+		if !ok || back != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v; want %v", info.Name, back, ok, op)
+		}
+		if info.Class == ClassLoad && !info.HasDest {
+			t.Errorf("load opcode %s has no destination", info.Name)
+		}
+		if info.Class == ClassStore && info.HasDest {
+			t.Errorf("store opcode %s has a destination", info.Name)
+		}
+		if info.Flow != flowNone && info.Class != ClassBranch {
+			t.Errorf("control-flow opcode %s not in branch class", info.Name)
+		}
+		if (info.Class == ClassLoad || info.Class == ClassStore) && info.MemBytes == 0 {
+			t.Errorf("memory opcode %s has no access size", info.Name)
+		}
+	}
+}
+
+func TestInstructionPredicates(t *testing.T) {
+	ld := Instruction{Op: OpLDQ, Dest: 1, Src1: 2, Imm: 8, HasImm: true}
+	if !ld.IsLoad() || !ld.IsMem() || ld.IsStore() || ld.IsBranch() {
+		t.Errorf("load predicates wrong: %+v", ld)
+	}
+	st := Instruction{Op: OpSTQ, Src1: 1, Src2: 2, Imm: 8, HasImm: true}
+	if !st.IsStore() || !st.IsMem() || st.IsLoad() || st.WritesReg() {
+		t.Errorf("store predicates wrong: %+v", st)
+	}
+	bne := Instruction{Op: OpBNE, Src1: 3, Imm: -4}
+	if !bne.IsBranch() || !bne.IsCondBranch() || bne.IsUncondBranch() {
+		t.Errorf("branch predicates wrong: %+v", bne)
+	}
+	br := Instruction{Op: OpBR, Imm: 2}
+	if !br.IsUncondBranch() || br.IsCondBranch() {
+		t.Errorf("br predicates wrong: %+v", br)
+	}
+	cmov := Instruction{Op: OpCMOVNE, Dest: 4, Src1: 5, Src2: 6}
+	if !cmov.ReadsDest() {
+		t.Error("cmovne should read its destination")
+	}
+	srcs := cmov.SrcRegs(nil)
+	if len(srcs) != 3 || srcs[0] != 5 || srcs[1] != 6 || srcs[2] != 4 {
+		t.Errorf("cmovne SrcRegs = %v, want [r5 r6 r4]", srcs)
+	}
+}
+
+func TestSrcRegsImmediate(t *testing.T) {
+	add := Instruction{Op: OpADD, Dest: 1, Src1: 2, Imm: 5, HasImm: true}
+	srcs := add.SrcRegs(nil)
+	if len(srcs) != 1 || srcs[0] != 2 {
+		t.Errorf("add-with-imm SrcRegs = %v, want [r2]", srcs)
+	}
+}
+
+func TestBranchTargetRoundTrip(t *testing.T) {
+	var in Instruction
+	in.Op = OpBNE
+	for _, self := range []int{0, 10, 500} {
+		for _, target := range []int{0, 1, 9, 11, 700} {
+			in.SetBranchTarget(self, target)
+			if got := in.BranchTarget(self); got != target {
+				t.Errorf("BranchTarget(self=%d) = %d after SetBranchTarget(%d)", self, got, target)
+			}
+		}
+	}
+}
+
+// randomCanonicalInstruction builds a random instruction that is canonical
+// with respect to its opcode, suitable for encode/decode round-trip checks.
+func randomCanonicalInstruction(r *rand.Rand) Instruction {
+	var in Instruction
+	for {
+		in.Op = Opcode(r.Intn(NumOpcodes))
+		if in.Op.Valid() {
+			break
+		}
+	}
+	in.Dest = Reg(r.Intn(NumArchRegs))
+	in.Src1 = Reg(r.Intn(NumArchRegs))
+	in.Src2 = Reg(r.Intn(NumArchRegs))
+	in.Imm = int32(r.Intn(ImmMax-ImmMin+1) + ImmMin)
+	in.HasImm = r.Intn(2) == 0
+	in.AliasClass = uint8(r.Intn(MaxAliasClass + 1))
+	in.Start = r.Intn(2) == 0
+	in.T1 = r.Intn(2) == 0
+	in.T2 = r.Intn(2) == 0
+	in.IDest = r.Intn(2) == 0
+	in.EDest = r.Intn(2) == 0
+	in.IDestIdx = uint8(r.Intn(NumInternalRegs))
+	in.I1 = uint8(r.Intn(NumInternalRegs))
+	in.I2 = uint8(r.Intn(NumInternalRegs))
+	in.Canonicalize()
+	return in
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		in := randomCanonicalInstruction(r)
+		w, err := in.Encode()
+		if err != nil {
+			t.Logf("encode error for %+v: %v", in, err)
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Logf("decode error for word %#x: %v", w, err)
+			return false
+		}
+		if out != in {
+			t.Logf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	in := Instruction{Op: OpADD, Dest: 1, Src1: 2, Imm: ImmMax + 1, HasImm: true}
+	if _, err := in.Encode(); err == nil {
+		t.Error("Encode accepted out-of-range immediate")
+	}
+	in = Instruction{Op: OpADD, Dest: 70, Src1: 2, Src2: 3}
+	if _, err := in.Encode(); err == nil {
+		t.Error("Encode accepted invalid register")
+	}
+	in = Instruction{Op: OpLDQ, Dest: 1, Src1: 2, AliasClass: MaxAliasClass + 1}
+	if _, err := in.Encode(); err == nil {
+		t.Error("Encode accepted out-of-range alias class")
+	}
+	in = Instruction{Op: OpADD, Dest: 1, Src1: 2, Src2: 3, IDest: true, IDestIdx: 8}
+	if _, err := in.Encode(); err == nil {
+		t.Error("Encode accepted out-of-range internal index")
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	if _, err := Decode(uint64(numOpcodes)); err == nil {
+		t.Error("Decode accepted invalid opcode")
+	}
+}
+
+func TestNegativeImmediateRoundTrip(t *testing.T) {
+	for _, imm := range []int32{-1, -2, ImmMin, ImmMax, 0, 1} {
+		in := Instruction{Op: OpLDA, Dest: 1, Src1: 2, Imm: imm, HasImm: true}
+		in.Canonicalize()
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("encode imm=%d: %v", imm, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode imm=%d: %v", imm, err)
+		}
+		if out.Imm != imm {
+			t.Errorf("imm %d round-tripped to %d", imm, out.Imm)
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpADD, Dest: 1, Src1: 2, Src2: 3}, "add r1, r2, r3"},
+		{Instruction{Op: OpADD, Dest: 1, Src1: 2, Imm: 7, HasImm: true}, "add r1, r2, #7"},
+		{Instruction{Op: OpLDQ, Dest: 4, Src1: 5, Imm: 16}, "ldq r4, 16(r5)"},
+		{Instruction{Op: OpSTQ, Src1: 4, Src2: 5, Imm: -8}, "stq r4, -8(r5)"},
+		{Instruction{Op: OpBNE, Src1: 6, Imm: -3}, "bne r6, -3"},
+		{Instruction{Op: OpNOP}, "nop"},
+		{Instruction{Op: OpADD, Dest: 1, Src1: 2, Src2: 3, Start: true, T1: true, I1: 4, IDest: true, IDestIdx: 2}, "S| add i2, i4, r3"},
+		{Instruction{Op: OpADD, Dest: 1, Src1: 2, Src2: 3, IDest: true, IDestIdx: 2, EDest: true}, "add i2/r1, r2, r3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := &Program{
+		Name: "good",
+		Instrs: []Instruction{
+			{Op: OpLDIMM, Dest: 1, Imm: 5, HasImm: true},
+			{Op: OpADD, Dest: 2, Src1: 1, Src2: 1},
+			{Op: OpHALT},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	empty := &Program{Name: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+
+	badTarget := good.Clone()
+	badTarget.Instrs[1] = Instruction{Op: OpBNE, Src1: 1, Imm: 100}
+	if err := badTarget.Validate(); err == nil {
+		t.Error("out-of-range branch target accepted")
+	}
+
+	noHalt := &Program{
+		Name:   "nohalt",
+		Instrs: []Instruction{{Op: OpADD, Dest: 1, Src1: 2, Src2: 3}},
+	}
+	if err := noHalt.Validate(); err == nil {
+		t.Error("program without halt accepted")
+	}
+}
+
+func TestProgramEncodeDecodeAll(t *testing.T) {
+	p := &Program{
+		Name: "p",
+		Instrs: []Instruction{
+			{Op: OpLDIMM, Dest: 1, Imm: 42, HasImm: true},
+			{Op: OpADD, Dest: 2, Src1: 1, Imm: 1, HasImm: true},
+			{Op: OpSTQ, Src1: 2, Src2: 31, Imm: 0, AliasClass: 1},
+			{Op: OpHALT},
+		},
+	}
+	for i := range p.Instrs {
+		p.Instrs[i].Canonicalize()
+	}
+	words, err := p.EncodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeAll(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(p.Instrs) {
+		t.Fatalf("length mismatch %d != %d", len(back), len(p.Instrs))
+	}
+	for i := range back {
+		if back[i] != p.Instrs[i] {
+			t.Errorf("instr %d mismatch: %+v != %+v", i, back[i], p.Instrs[i])
+		}
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := &Program{
+		Name:   "orig",
+		Instrs: []Instruction{{Op: OpHALT}},
+		Data:   []byte{1, 2, 3},
+		Labels: map[string]int{"start": 0},
+	}
+	q := p.Clone()
+	q.Instrs[0].Op = OpNOP
+	q.Data[0] = 9
+	q.Labels["start"] = 5
+	if p.Instrs[0].Op != OpHALT || p.Data[0] != 1 || p.Labels["start"] != 0 {
+		t.Error("Clone is not deep")
+	}
+}

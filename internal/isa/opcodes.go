@@ -1,0 +1,177 @@
+package isa
+
+import "fmt"
+
+// Opcode enumerates the BRD64 operations.
+type Opcode uint8
+
+// BRD64 opcodes. The set is modeled on the Alpha EV6 subset that appears in
+// the paper's examples (Figure 2 uses addq, addl, ldl, lda, andnot, and,
+// zapnot, cmpeq, cmovne, bne) plus enough integer, floating-point, memory and
+// control operations to express realistic workloads.
+const (
+	OpNOP Opcode = iota
+	OpHALT
+
+	// Integer arithmetic and logic.
+	OpADD    // dest = src1 + src2
+	OpSUB    // dest = src1 - src2
+	OpMUL    // dest = src1 * src2
+	OpDIV    // dest = src1 / src2 (signed; x/0 = 0)
+	OpAND    // dest = src1 & src2
+	OpOR     // dest = src1 | src2
+	OpXOR    // dest = src1 ^ src2
+	OpANDNOT // dest = src1 &^ src2
+	OpSLL    // dest = src1 << (src2 & 63)
+	OpSRL    // dest = src1 >> (src2 & 63) (logical)
+	OpSRA    // dest = src1 >> (src2 & 63) (arithmetic)
+	OpCMPEQ  // dest = src1 == src2 ? 1 : 0
+	OpCMPLT  // dest = src1 < src2 ? 1 : 0 (signed)
+	OpCMPLE  // dest = src1 <= src2 ? 1 : 0 (signed)
+	OpCMPULT // dest = src1 < src2 ? 1 : 0 (unsigned)
+	OpCMOVEQ // if src1 == 0 { dest = src2 } (reads old dest)
+	OpCMOVNE // if src1 != 0 { dest = src2 } (reads old dest)
+	OpZAPNOT // dest = src1 with bytes NOT selected by mask src2 zeroed
+	OpSEXTL  // dest = sign-extend low 32 bits of src1
+	OpLDA    // dest = src1 + imm (address calculation)
+	OpLDIMM  // dest = imm (load immediate)
+
+	// Memory. Loads: dest = mem[src1+imm]. Stores: mem[src2+imm] = src1.
+	OpLDQ // load 64-bit
+	OpLDL // load 32-bit, sign-extended
+	OpSTQ // store 64-bit
+	OpSTL // store 32-bit
+	OpLDF // load 64-bit into floating-point register
+	OpSTF // store 64-bit from floating-point register
+
+	// Floating point (operands are float64 bit patterns).
+	OpFADD   // dest = src1 + src2
+	OpFSUB   // dest = src1 - src2
+	OpFMUL   // dest = src1 * src2
+	OpFDIV   // dest = src1 / src2
+	OpFSQRT  // dest = sqrt(src1)
+	OpFNEG   // dest = -src1
+	OpFCMPEQ // dest = src1 == src2 ? 1.0 : 0.0
+	OpFCMPLT // dest = src1 < src2 ? 1.0 : 0.0
+	OpFCMPLE // dest = src1 <= src2 ? 1.0 : 0.0
+	OpCVTIF  // dest(fp) = float64(src1 as int64)
+	OpCVTFI  // dest(int) = int64(src1 as float64)
+
+	// Control flow. Conditional branches test src1 against zero.
+	OpBR  // unconditional branch
+	OpBEQ // branch if src1 == 0
+	OpBNE // branch if src1 != 0
+	OpBLT // branch if src1 < 0
+	OpBLE // branch if src1 <= 0
+	OpBGT // branch if src1 > 0
+	OpBGE // branch if src1 >= 0
+
+	numOpcodes // sentinel
+)
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+// control-flow kind of an opcode.
+type flowKind uint8
+
+const (
+	flowNone flowKind = iota
+	flowCond
+	flowUncond
+)
+
+// OpInfo describes the static properties of an opcode.
+type OpInfo struct {
+	Name      string
+	Class     Class
+	NumSrcs   int  // register source operands (before Imm substitution)
+	HasDest   bool // produces a register result
+	ReadsDest bool // also reads the destination (conditional moves)
+	FP        bool // operates on floating-point registers
+	Flow      flowKind
+	MemBytes  int // access size for memory operations
+}
+
+var opTable = [numOpcodes]OpInfo{
+	OpNOP:  {Name: "nop", Class: ClassNop},
+	OpHALT: {Name: "halt", Class: ClassNop},
+
+	OpADD:    {Name: "add", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpSUB:    {Name: "sub", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpMUL:    {Name: "mul", Class: ClassIntMul, NumSrcs: 2, HasDest: true},
+	OpDIV:    {Name: "div", Class: ClassIntDiv, NumSrcs: 2, HasDest: true},
+	OpAND:    {Name: "and", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpOR:     {Name: "or", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpXOR:    {Name: "xor", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpANDNOT: {Name: "andnot", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpSLL:    {Name: "sll", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpSRL:    {Name: "srl", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpSRA:    {Name: "sra", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpCMPEQ:  {Name: "cmpeq", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpCMPLT:  {Name: "cmplt", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpCMPLE:  {Name: "cmple", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpCMPULT: {Name: "cmpult", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpCMOVEQ: {Name: "cmoveq", Class: ClassIntALU, NumSrcs: 2, HasDest: true, ReadsDest: true},
+	OpCMOVNE: {Name: "cmovne", Class: ClassIntALU, NumSrcs: 2, HasDest: true, ReadsDest: true},
+	OpZAPNOT: {Name: "zapnot", Class: ClassIntALU, NumSrcs: 2, HasDest: true},
+	OpSEXTL:  {Name: "sextl", Class: ClassIntALU, NumSrcs: 1, HasDest: true},
+	OpLDA:    {Name: "lda", Class: ClassIntALU, NumSrcs: 1, HasDest: true},
+	OpLDIMM:  {Name: "ldimm", Class: ClassIntALU, NumSrcs: 0, HasDest: true},
+
+	OpLDQ: {Name: "ldq", Class: ClassLoad, NumSrcs: 1, HasDest: true, MemBytes: 8},
+	OpLDL: {Name: "ldl", Class: ClassLoad, NumSrcs: 1, HasDest: true, MemBytes: 4},
+	OpSTQ: {Name: "stq", Class: ClassStore, NumSrcs: 2, MemBytes: 8},
+	OpSTL: {Name: "stl", Class: ClassStore, NumSrcs: 2, MemBytes: 4},
+	OpLDF: {Name: "ldf", Class: ClassLoad, NumSrcs: 1, HasDest: true, FP: true, MemBytes: 8},
+	OpSTF: {Name: "stf", Class: ClassStore, NumSrcs: 2, FP: true, MemBytes: 8},
+
+	OpFADD:   {Name: "fadd", Class: ClassFPAdd, NumSrcs: 2, HasDest: true, FP: true},
+	OpFSUB:   {Name: "fsub", Class: ClassFPAdd, NumSrcs: 2, HasDest: true, FP: true},
+	OpFMUL:   {Name: "fmul", Class: ClassFPMul, NumSrcs: 2, HasDest: true, FP: true},
+	OpFDIV:   {Name: "fdiv", Class: ClassFPDiv, NumSrcs: 2, HasDest: true, FP: true},
+	OpFSQRT:  {Name: "fsqrt", Class: ClassFPDiv, NumSrcs: 1, HasDest: true, FP: true},
+	OpFNEG:   {Name: "fneg", Class: ClassFPAdd, NumSrcs: 1, HasDest: true, FP: true},
+	OpFCMPEQ: {Name: "fcmpeq", Class: ClassFPAdd, NumSrcs: 2, HasDest: true, FP: true},
+	OpFCMPLT: {Name: "fcmplt", Class: ClassFPAdd, NumSrcs: 2, HasDest: true, FP: true},
+	OpFCMPLE: {Name: "fcmple", Class: ClassFPAdd, NumSrcs: 2, HasDest: true, FP: true},
+	OpCVTIF:  {Name: "cvtif", Class: ClassFPAdd, NumSrcs: 1, HasDest: true, FP: true},
+	OpCVTFI:  {Name: "cvtfi", Class: ClassFPAdd, NumSrcs: 1, HasDest: true, FP: true},
+
+	OpBR:  {Name: "br", Class: ClassBranch, Flow: flowUncond},
+	OpBEQ: {Name: "beq", Class: ClassBranch, NumSrcs: 1, Flow: flowCond},
+	OpBNE: {Name: "bne", Class: ClassBranch, NumSrcs: 1, Flow: flowCond},
+	OpBLT: {Name: "blt", Class: ClassBranch, NumSrcs: 1, Flow: flowCond},
+	OpBLE: {Name: "ble", Class: ClassBranch, NumSrcs: 1, Flow: flowCond},
+	OpBGT: {Name: "bgt", Class: ClassBranch, NumSrcs: 1, Flow: flowCond},
+	OpBGE: {Name: "bge", Class: ClassBranch, NumSrcs: 1, Flow: flowCond},
+}
+
+// String returns the mnemonic for op.
+func (op Opcode) String() string {
+	if int(op) < len(opTable) && opTable[op].Name != "" {
+		return opTable[op].Name
+	}
+	return fmt.Sprintf("op?%d", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool {
+	return int(op) < len(opTable) && opTable[op].Name != ""
+}
+
+// OpcodeByName looks up an opcode by mnemonic; ok is false if unknown.
+func OpcodeByName(name string) (op Opcode, ok bool) {
+	op, ok = opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opTable))
+	for op, info := range opTable {
+		if info.Name != "" {
+			m[info.Name] = Opcode(op)
+		}
+	}
+	return m
+}()

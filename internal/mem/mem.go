@@ -1,0 +1,165 @@
+// Package mem models the memory hierarchy of Table 4: a 64KB 4-way L1
+// instruction cache (3-cycle), a 64KB 2-way L1 data cache (3-cycle), a
+// unified 1MB 8-way L2 (6-cycle), and 400-cycle main memory. Caches are
+// LRU, write-allocate, with timing returned as a total access latency; a
+// perfect mode services every access at L1 latency for the Figure 1 study.
+package mem
+
+import "fmt"
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	SizeKB  int
+	Assoc   int
+	LineB   int // line size in bytes
+	Latency int // cycles for a hit at this level
+}
+
+// Cache is one set-associative LRU cache level.
+type Cache struct {
+	cfg    CacheConfig
+	sets   int
+	lineSh uint
+	tags   [][]uint64
+	valid  [][]bool
+	stamp  [][]uint64
+	tick   uint64
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds a cache from its configuration.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.SizeKB <= 0 || cfg.Assoc <= 0 || cfg.LineB <= 0 {
+		return nil, fmt.Errorf("mem: bad cache config %+v", cfg)
+	}
+	lines := cfg.SizeKB * 1024 / cfg.LineB
+	sets := lines / cfg.Assoc
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("mem: cache %+v yields %d sets (must be a power of two)", cfg, sets)
+	}
+	sh := uint(0)
+	for 1<<sh < cfg.LineB {
+		sh++
+	}
+	c := &Cache{cfg: cfg, sets: sets, lineSh: sh}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.stamp = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, cfg.Assoc)
+		c.valid[i] = make([]bool, cfg.Assoc)
+		c.stamp[i] = make([]uint64, cfg.Assoc)
+	}
+	return c, nil
+}
+
+// Access looks up addr, filling on miss, and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	line := addr >> c.lineSh
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+	ways := c.tags[set]
+	for w := range ways {
+		if c.valid[set][w] && ways[w] == tag {
+			c.stamp[set][w] = c.tick
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	// Fill the LRU way.
+	victim := 0
+	for w := 1; w < len(ways); w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.stamp[set][w] < c.stamp[set][victim] && c.valid[set][victim] {
+			victim = w
+		}
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.stamp[set][victim] = c.tick
+	return false
+}
+
+// Latency returns the hit latency of this level.
+func (c *Cache) Latency() int { return c.cfg.Latency }
+
+// Config holds the full hierarchy parameters.
+type Config struct {
+	L1I, L1D, L2 CacheConfig
+	MemLatency   int
+	Perfect      bool // every access hits at L1 latency (Figure 1)
+}
+
+// DefaultConfig returns Table 4's hierarchy.
+func DefaultConfig() Config {
+	return Config{
+		L1I:        CacheConfig{SizeKB: 64, Assoc: 4, LineB: 64, Latency: 3},
+		L1D:        CacheConfig{SizeKB: 64, Assoc: 2, LineB: 64, Latency: 3},
+		L2:         CacheConfig{SizeKB: 1024, Assoc: 8, LineB: 64, Latency: 6},
+		MemLatency: 400,
+	}
+}
+
+// Hierarchy is the instruction+data cache tree.
+type Hierarchy struct {
+	cfg Config
+	l1i *Cache
+	l1d *Cache
+	l2  *Cache
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg Config) (*Hierarchy, error) {
+	l1i, err := NewCache(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MemLatency <= 0 {
+		return nil, fmt.Errorf("mem: bad memory latency %d", cfg.MemLatency)
+	}
+	return &Hierarchy{cfg: cfg, l1i: l1i, l1d: l1d, l2: l2}, nil
+}
+
+// AccessI returns the latency of an instruction fetch at addr.
+func (h *Hierarchy) AccessI(addr uint64) int {
+	return h.access(h.l1i, addr)
+}
+
+// AccessD returns the latency of a data access at addr. Stores and loads
+// are treated alike (write-allocate; write-back traffic is not modeled,
+// matching the paper's level of detail).
+func (h *Hierarchy) AccessD(addr uint64) int {
+	return h.access(h.l1d, addr)
+}
+
+func (h *Hierarchy) access(l1 *Cache, addr uint64) int {
+	if h.cfg.Perfect {
+		return l1.Latency()
+	}
+	if l1.Access(addr) {
+		return l1.Latency()
+	}
+	if h.l2.Access(addr) {
+		return l1.Latency() + h.l2.Latency()
+	}
+	return l1.Latency() + h.l2.Latency() + h.cfg.MemLatency
+}
+
+// Stats reports hit/miss counters per level.
+func (h *Hierarchy) Stats() (l1iHits, l1iMiss, l1dHits, l1dMiss, l2Hits, l2Miss uint64) {
+	return h.l1i.Hits, h.l1i.Misses, h.l1d.Hits, h.l1d.Misses, h.l2.Hits, h.l2.Misses
+}

@@ -1,0 +1,106 @@
+package uarch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Complexity estimates the execution-core structure costs the paper's §5.1
+// discusses qualitatively, using the standard first-order proxies the paper
+// cites: register-file area grows with bits × ports² (Farkas et al.; Zyuban
+// & Kogge — doubling ports doubles both bit-lines and word-lines), scheduler
+// cost with entries × broadcast destinations (Palacharla), and bypass cost
+// with levels × values × consumers. The absolute units are arbitrary; the
+// ratios between machines are the point.
+type Complexity struct {
+	RFArea        float64 // external register file: bits × (R+W)²
+	InternalArea  float64 // BEU-internal register files, same proxy
+	SchedulerCAM  float64 // broadcast-match entries × tag comparisons
+	SchedulerFIFO float64 // FIFO entries (no broadcast)
+	BypassWires   float64 // levels × values/cycle × consuming inputs
+	RenamePorts   float64 // rename-table lookup/write ports
+	Checkpoint    float64 // registers captured per checkpoint
+}
+
+// Total sums the proxies (unitless; for coarse comparisons only).
+func (c Complexity) Total() float64 {
+	return c.RFArea + c.InternalArea + c.SchedulerCAM + c.SchedulerFIFO +
+		c.BypassWires + c.RenamePorts + c.Checkpoint
+}
+
+const regBits = 64
+
+// EstimateComplexity computes the proxies for a configuration.
+func EstimateComplexity(cfg Config) Complexity {
+	var c Complexity
+	rw := float64(cfg.RFReadPorts + cfg.RFWritePorts)
+	c.RFArea = float64(cfg.RFEntries) * regBits * rw * rw
+
+	switch cfg.Core {
+	case CoreBraid:
+		// Per-BEU internal files: 4R/2W over 8 entries.
+		irw := 6.0
+		c.InternalArea = float64(cfg.BEUs) * 8 * regBits * irw * irw
+		// FIFO schedulers: no tag broadcast; the busy-bit vector is
+		// RFEntries bits per BEU.
+		c.SchedulerFIFO = float64(cfg.BEUs) * float64(cfg.BEUFIFO)
+		c.SchedulerCAM = 0
+		c.BypassWires = float64(cfg.BypassLevels*cfg.BypassValues) * float64(cfg.TotalFUs*2)
+		c.RenamePorts = float64(cfg.RenameSrc + cfg.AllocWidth)
+		// Checkpoints capture only the external map (internal values
+		// die at braid boundaries, §3.4).
+		c.Checkpoint = float64(cfg.RFEntries)
+	case CoreOutOfOrder:
+		// Distributed out-of-order windows: every entry compares its
+		// two source tags against every result broadcast per cycle.
+		entries := float64(cfg.Schedulers * cfg.SchedEntries)
+		c.SchedulerCAM = entries * 2 * float64(cfg.IssueWidth)
+		c.BypassWires = float64(cfg.BypassLevels*cfg.BypassValues) * float64(cfg.TotalFUs*2)
+		c.RenamePorts = float64(cfg.RenameSrc + cfg.AllocWidth)
+		c.Checkpoint = float64(cfg.RFEntries)
+	case CoreDepSteer:
+		c.SchedulerFIFO = float64(cfg.SteerFIFOs * cfg.SteerFIFODeep)
+		c.BypassWires = float64(cfg.BypassLevels*cfg.BypassValues) * float64(cfg.TotalFUs*2)
+		c.RenamePorts = float64(cfg.RenameSrc + cfg.AllocWidth)
+		c.Checkpoint = float64(cfg.RFEntries)
+	case CoreInOrder:
+		c.BypassWires = float64(cfg.BypassLevels*cfg.BypassValues) * float64(cfg.TotalFUs*2)
+		c.RenamePorts = float64(cfg.RenameSrc + cfg.AllocWidth)
+		c.Checkpoint = 0 // in-order commit needs no map checkpoints
+	}
+	return c
+}
+
+// ComplexityReport renders a side-by-side table for the four 8-wide machines
+// (the paper's §5.1 comparison, quantified with the proxies above).
+func ComplexityReport(width int) string {
+	inorder := InOrderConfig(width)
+	// The in-order machine does not rename: it carries only the
+	// architectural file (64 registers), fully ported.
+	inorder.RFEntries = 64
+	rows := []struct {
+		name string
+		cfg  Config
+	}{
+		{"in-order", inorder},
+		{"dep-steer", DepSteerConfig(width)},
+		{"braid", BraidConfig(width)},
+		{"out-of-order", OutOfOrderConfig(width)},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %14s %14s %12s %10s %10s %8s %12s %14s\n",
+		"core", "ext-RF-area", "int-RF-area", "sched-CAM", "FIFO", "bypass", "rename", "checkpoint", "total")
+	for _, r := range rows {
+		c := EstimateComplexity(r.cfg)
+		fmt.Fprintf(&b, "%-14s %14.0f %14.0f %12.0f %10.0f %10.0f %8.0f %12.0f %14.0f\n",
+			r.name, c.RFArea, c.InternalArea, c.SchedulerCAM, c.SchedulerFIFO,
+			c.BypassWires, c.RenamePorts, c.Checkpoint, c.Total())
+	}
+	braid := EstimateComplexity(BraidConfig(width))
+	ooo := EstimateComplexity(OutOfOrderConfig(width))
+	fmt.Fprintf(&b, "\nbraid execution core at %.1f%% of the out-of-order core's proxy area\n",
+		100*braid.Total()/ooo.Total())
+	fmt.Fprintf(&b, "(external register file alone: %.1f%%; no broadcast scheduler at all)\n",
+		100*braid.RFArea/ooo.RFArea)
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComplexityOrdering(t *testing.T) {
+	braid := EstimateComplexity(BraidConfig(8))
+	ooo := EstimateComplexity(OutOfOrderConfig(8))
+	io := EstimateComplexity(InOrderConfig(8))
+	dep := EstimateComplexity(DepSteerConfig(8))
+
+	// The paper's §5.1 claims, as orderings of the proxies.
+	if braid.RFArea >= ooo.RFArea/10 {
+		t.Errorf("braid external RF area %.0f not far below out-of-order %.0f", braid.RFArea, ooo.RFArea)
+	}
+	if braid.SchedulerCAM != 0 {
+		t.Error("braid core has broadcast scheduler cost")
+	}
+	if ooo.SchedulerCAM == 0 {
+		t.Error("out-of-order core has no broadcast scheduler cost")
+	}
+	if braid.BypassWires >= ooo.BypassWires {
+		t.Errorf("braid bypass %.0f not below out-of-order %.0f", braid.BypassWires, ooo.BypassWires)
+	}
+	if braid.Checkpoint >= ooo.Checkpoint {
+		t.Errorf("braid checkpoint state %.0f not below out-of-order %.0f", braid.Checkpoint, ooo.Checkpoint)
+	}
+	// "Almost in-order complexity": the braid core's partitioned, thinly
+	// ported register files leave it at or below even the in-order
+	// machine's fully ported architectural file, and far below the
+	// out-of-order and steering designs.
+	if braid.Total() > io.Total() {
+		t.Errorf("braid total %.0f above in-order %.0f", braid.Total(), io.Total())
+	}
+	if braid.Total() > ooo.Total()/3 {
+		t.Errorf("braid total %.0f not well below out-of-order %.0f", braid.Total(), ooo.Total())
+	}
+	if dep.Total() < braid.Total() {
+		t.Errorf("dep-steer total %.0f below braid %.0f (it keeps the monolithic RF)", dep.Total(), braid.Total())
+	}
+}
+
+func TestComplexityReport(t *testing.T) {
+	r := ComplexityReport(8)
+	for _, want := range []string{"in-order", "braid", "out-of-order", "ext-RF-area", "%"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}

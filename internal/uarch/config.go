@@ -1,0 +1,300 @@
+// Package uarch is the cycle-level, execution-driven simulator. It models
+// the two pipelines of Table 4 — an aggressive conventional out-of-order
+// design and the braid microarchitecture — plus the in-order and
+// dependence-based-steering baselines of Figure 13, over a shared front end
+// (perceptron branch prediction, instruction cache, allocate/rename
+// bandwidth), a shared memory hierarchy with a load-store queue, and shared
+// external-register-file and bypass-network resource models.
+//
+// The simulator is functionally directed: the front end executes the program
+// functionally (via internal/interp) in fetch order, which pins down every
+// dependence, branch outcome, and memory address exactly; the timing model
+// then decides how many cycles the machine needs. Mispredicted branches
+// stall fetch until they execute and then pay the configured redirect
+// penalty (DESIGN.md §2a).
+package uarch
+
+import (
+	"fmt"
+
+	"braid/internal/mem"
+)
+
+// CoreKind selects the execution-core paradigm.
+type CoreKind int
+
+// The four paradigms of Figure 13.
+const (
+	CoreInOrder CoreKind = iota
+	CoreDepSteer
+	CoreBraid
+	CoreOutOfOrder
+)
+
+func (k CoreKind) String() string {
+	switch k {
+	case CoreInOrder:
+		return "in-order"
+	case CoreDepSteer:
+		return "dep-steer"
+	case CoreBraid:
+		return "braid"
+	case CoreOutOfOrder:
+		return "out-of-order"
+	}
+	return "core?"
+}
+
+// Config is a complete machine configuration. Zero values are invalid; use
+// the constructors below for Table 4's machines and mutate fields for the
+// sensitivity sweeps.
+type Config struct {
+	Core CoreKind
+
+	// Front end.
+	FetchWidth    int // instructions fetched per cycle
+	FetchBranches int // branches the front end can process per cycle (3)
+	FrontDepth    int // cycles from fetch to dispatch (rename etc.)
+	AllocWidth    int // external-destination allocations per cycle
+	RenameSrc     int // external source operands renamed per cycle
+	MispredictMin int // minimum branch misprediction penalty in cycles
+	PerfectBP     bool
+
+	// Execution resources.
+	IssueWidth int
+	TotalFUs   int // general-purpose functional units (all cores)
+	ROB        int // maximum instructions in flight
+
+	// External register file (in-flight value storage; DESIGN.md §1).
+	RFEntries    int
+	RFReadPorts  int
+	RFWritePorts int
+
+	// Bypass network.
+	BypassLevels int // cycles a result remains on the bypass network
+	BypassValues int // results that may enter the network per cycle
+
+	// ExtWakeupExtra adds cycles before an external-register value can
+	// wake consumers. The braid machine pays one cycle to synchronize
+	// the busy-bit vectors across BEUs (§5.1); a conventional scheduler
+	// wakes consumers with its own tag broadcast and pays nothing.
+	ExtWakeupExtra int
+
+	// DeadValueRelease frees an external register-file entry as soon as
+	// the value is dead (all consumers issued and the overwriting
+	// instruction fetched), using the compiler's dead-value information;
+	// checkpoints cover recovery (§3.4, §6.3). The braid machine enables
+	// it — that is how an 8-entry external file suffices (Figure 6) —
+	// while the conventional baseline holds entries until retirement.
+	DeadValueRelease bool
+
+	// Out-of-order core: distributed schedulers.
+	Schedulers   int
+	SchedEntries int
+
+	// Dependence-steering core (Palacharla-style FIFOs).
+	SteerFIFOs    int
+	SteerFIFODeep int
+
+	// Braid core.
+	BEUs      int
+	BEUFIFO   int // instruction queue entries per BEU
+	BEUWindow int // in-order scheduling window at the FIFO head
+	BEUFUs    int // functional units per BEU
+
+	// BEUQueueBraids lets a BEU's FIFO buffer braids back to back
+	// instead of owning a single braid at a time; the window still only
+	// examines the braid at the head (the internal register file is
+	// recycled between braids). The paper's text says one braid per BEU
+	// (§3.3), but its 32-entry FIFO for ~3-instruction braids suggests
+	// buffering; this flag lets both readings be evaluated.
+	BEUQueueBraids bool
+
+	// Clustering (paper §5.2, future work): BEUs are grouped into
+	// Clusters equal groups; an external value produced in one cluster
+	// reaches consumers in another only after InterClusterDelay extra
+	// cycles. Zero or one cluster disables it.
+	Clusters          int
+	InterClusterDelay int
+
+	// Memory hierarchy.
+	Mem mem.Config
+
+	// Operation latencies by functional-unit class.
+	LatIntALU, LatIntMul, LatIntDiv int
+	LatFPAdd, LatFPMul, LatFPDiv    int
+	LatAGU                          int // address generation before the cache
+
+	// Exception injection (§3.4): every ExceptionEvery retired
+	// instructions the machine takes an exception — the pipeline drains,
+	// fetch pays the misprediction penalty (checkpoint restore), and the
+	// next ExceptionHandler instructions are serialized through BEU 0 on
+	// the braid core (all-but-one BEUs disabled), modeling the paper's
+	// simplicity-over-speed exception mode. Zero disables injection.
+	ExceptionEvery   uint64
+	ExceptionHandler int
+
+	// MaxCycles aborts runaway simulations.
+	MaxCycles uint64
+
+	// Paranoid enables per-cycle internal consistency checks (resource
+	// counters in range, ROB age order, writeback queue sanity). Tests
+	// switch it on; it costs a few percent of simulation speed.
+	Paranoid bool
+}
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.ROB <= 0 || c.TotalFUs <= 0 {
+		return fmt.Errorf("uarch: bad widths in config: %+v", c)
+	}
+	if c.RFEntries <= 0 || c.RFReadPorts <= 0 || c.RFWritePorts <= 0 {
+		return fmt.Errorf("uarch: bad register file config")
+	}
+	if c.MispredictMin < c.FrontDepth+2 {
+		return fmt.Errorf("uarch: misprediction penalty %d below front depth %d+2", c.MispredictMin, c.FrontDepth)
+	}
+	switch c.Core {
+	case CoreOutOfOrder:
+		if c.Schedulers <= 0 || c.SchedEntries <= 0 {
+			return fmt.Errorf("uarch: out-of-order core needs schedulers")
+		}
+	case CoreDepSteer:
+		if c.SteerFIFOs <= 0 || c.SteerFIFODeep <= 0 {
+			return fmt.Errorf("uarch: dep-steer core needs FIFOs")
+		}
+	case CoreBraid:
+		if c.BEUs <= 0 || c.BEUFIFO <= 0 || c.BEUWindow <= 0 || c.BEUFUs <= 0 {
+			return fmt.Errorf("uarch: braid core needs BEU parameters")
+		}
+		if c.Clusters > 1 && c.BEUs%c.Clusters != 0 {
+			return fmt.Errorf("uarch: %d BEUs do not divide into %d clusters", c.BEUs, c.Clusters)
+		}
+	}
+	return nil
+}
+
+// redirectGap is the fetch-restart delay after a mispredicted branch
+// executes, chosen so the minimum end-to-end penalty equals MispredictMin:
+// the redirected instruction pays the gap, the front-end depth, and one
+// issue cycle (verified to the cycle by TestMispredictPenaltyExact).
+func (c *Config) redirectGap() uint64 {
+	gap := c.MispredictMin - c.FrontDepth - 2
+	if gap < 0 {
+		gap = 0
+	}
+	return uint64(gap)
+}
+
+// scaledBranches keeps Table 4's 3-branches-per-cycle front end at 8 wide
+// and scales it with width for the 4- and 16-wide design points.
+func scaledBranches(width int) int {
+	b := 3 * width / 8
+	if b < 2 {
+		b = 2
+	}
+	return b
+}
+
+// Latencies indexed by class are resolved through this helper.
+func defaultLatencies(c *Config) {
+	c.LatIntALU, c.LatIntMul, c.LatIntDiv = 1, 4, 12
+	c.LatFPAdd, c.LatFPMul, c.LatFPDiv = 4, 4, 12
+	c.LatAGU = 1
+}
+
+// OutOfOrderConfig returns Table 4's aggressive conventional out-of-order
+// machine scaled to the given issue width (8 is the paper's default; 4 and
+// 16 appear in Figures 1 and 13).
+func OutOfOrderConfig(width int) Config {
+	c := Config{
+		Core:          CoreOutOfOrder,
+		FetchWidth:    width,
+		FetchBranches: scaledBranches(width),
+		FrontDepth:    12,
+		AllocWidth:    width,
+		RenameSrc:     2 * width,
+		MispredictMin: 23,
+		IssueWidth:    width,
+		TotalFUs:      width,
+		ROB:           64 * width,
+		RFEntries:     32 * width,
+		RFReadPorts:   2 * width,
+		RFWritePorts:  width,
+		BypassLevels:  3,
+		BypassValues:  width,
+		// Figure 5's own shape (only -8% at 32 registers) requires the
+		// conventional machine to free entries when values die, not at
+		// retirement; the paper's §6.3 attributes exactly this to
+		// virtual-physical registers with dead-value information.
+		DeadValueRelease: true,
+		Schedulers:       width,
+		SchedEntries:     32,
+		Mem:              mem.DefaultConfig(),
+		MaxCycles:        50_000_000,
+	}
+	defaultLatencies(&c)
+	return c
+}
+
+// BraidConfig returns Table 4's braid microarchitecture scaled to the given
+// issue width: width BEUs of 2 functional units each, a 32-entry FIFO and
+// 2-entry window per BEU, an 8-entry external register file with 6R/3W ports
+// at 8 wide, a 1-level × 2-value bypass, and a 4-stage-shorter pipeline.
+func BraidConfig(width int) Config {
+	rp := 6 * width / 8
+	if rp < 2 {
+		rp = 2
+	}
+	wp := 3 * width / 8
+	if wp < 1 {
+		wp = 1
+	}
+	c := Config{
+		Core:             CoreBraid,
+		FetchWidth:       width,
+		FetchBranches:    scaledBranches(width),
+		DeadValueRelease: true,
+		FrontDepth:       8,
+		AllocWidth:       width / 2,
+		RenameSrc:        width,
+		MispredictMin:    19,
+		IssueWidth:       width,
+		TotalFUs:         2 * width,
+		ROB:              64 * width,
+		RFEntries:        width,
+		RFReadPorts:      rp,
+		RFWritePorts:     wp,
+		BypassLevels:     1,
+		BypassValues:     2,
+		ExtWakeupExtra:   0,
+		BEUs:             width,
+		BEUFIFO:          32,
+		BEUWindow:        2,
+		BEUFUs:           2,
+		Mem:              mem.DefaultConfig(),
+		MaxCycles:        50_000_000,
+	}
+	defaultLatencies(&c)
+	return c
+}
+
+// InOrderConfig returns the in-order baseline of Figure 13: conventional
+// front end, scoreboarded in-order issue.
+func InOrderConfig(width int) Config {
+	c := OutOfOrderConfig(width)
+	c.Core = CoreInOrder
+	c.Schedulers, c.SchedEntries = 0, 0
+	return c
+}
+
+// DepSteerConfig returns the dependence-based FIFO steering baseline
+// (Palacharla, Jouppi & Smith), with width FIFOs of 32 entries.
+func DepSteerConfig(width int) Config {
+	c := OutOfOrderConfig(width)
+	c.Core = CoreDepSteer
+	c.Schedulers, c.SchedEntries = 0, 0
+	c.SteerFIFOs = width
+	c.SteerFIFODeep = 8
+	return c
+}

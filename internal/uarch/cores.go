@@ -1,0 +1,316 @@
+package uarch
+
+// ---------------------------------------------------------------------------
+// Conventional out-of-order core: distributed schedulers (Table 4: eight
+// 32-entry windows), each selecting its oldest ready instruction per cycle.
+
+type oooCore struct {
+	cfg    *Config
+	scheds [][]*dyn
+}
+
+func newOOOCore(cfg *Config) *oooCore {
+	c := &oooCore{cfg: cfg, scheds: make([][]*dyn, cfg.Schedulers)}
+	return c
+}
+
+func (c *oooCore) canAccept(*dyn) bool {
+	for _, s := range c.scheds {
+		if len(s) < c.cfg.SchedEntries {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *oooCore) dispatch(d *dyn) {
+	// Least-occupied steering (deterministic ties).
+	best := -1
+	for i, s := range c.scheds {
+		if len(s) >= c.cfg.SchedEntries {
+			continue
+		}
+		if best < 0 || len(s) < len(c.scheds[best]) {
+			best = i
+		}
+	}
+	d.sched = best
+	c.scheds[best] = append(c.scheds[best], d)
+}
+
+func (c *oooCore) issue(m *Machine, t uint64) {
+	// Each scheduler issues at most one instruction per cycle,
+	// oldest-ready-first (entries are in age order by construction).
+	for i := range c.scheds {
+		s := c.scheds[i]
+		for k, d := range s {
+			if m.tryIssue(d, t) {
+				c.scheds[i] = append(s[:k], s[k+1:]...)
+				break
+			}
+			if m.issuedThisCycle >= m.cfg.IssueWidth {
+				return
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// In-order core: a scoreboarded queue issuing strictly in program order.
+
+type inOrderCore struct {
+	cfg   *Config
+	queue []*dyn
+	depth int
+}
+
+func newInOrderCore(cfg *Config) *inOrderCore {
+	return &inOrderCore{cfg: cfg, depth: 8 * cfg.IssueWidth}
+}
+
+func (c *inOrderCore) canAccept(*dyn) bool { return len(c.queue) < c.depth }
+
+func (c *inOrderCore) dispatch(d *dyn) { c.queue = append(c.queue, d) }
+
+func (c *inOrderCore) issue(m *Machine, t uint64) {
+	for len(c.queue) > 0 {
+		if !m.tryIssue(c.queue[0], t) {
+			return // strict in-order: stall at the first blocked instruction
+		}
+		c.queue = c.queue[1:]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dependence-based steering core (Palacharla, Jouppi & Smith; the "dep" bars
+// of Figure 13): instructions are steered into FIFOs so consumers sit
+// behind their producers; only FIFO heads issue.
+
+type depSteerCore struct {
+	cfg   *Config
+	fifos [][]*dyn
+}
+
+func newDepSteerCore(cfg *Config) *depSteerCore {
+	return &depSteerCore{cfg: cfg, fifos: make([][]*dyn, cfg.SteerFIFOs)}
+}
+
+// steerTarget applies Palacharla's heuristic: if the left source operand's
+// producer sits at the tail of a FIFO, go behind it; otherwise take an empty
+// FIFO. Examining a single operand is what keeps the steering simple enough
+// to be "comparable complexity" to braids — and is also its weakness.
+func (c *depSteerCore) steerTarget(d *dyn) int {
+	if d.nsrcs > 0 {
+		if p := d.srcs[0].producer; p != nil && !p.issued {
+			for f, q := range c.fifos {
+				if len(q) > 0 && len(q) < c.cfg.SteerFIFODeep && q[len(q)-1] == p {
+					return f
+				}
+			}
+		}
+	}
+	for f, q := range c.fifos {
+		if len(q) == 0 {
+			return f
+		}
+	}
+	return -1
+}
+
+func (c *depSteerCore) canAccept(d *dyn) bool { return c.steerTarget(d) >= 0 }
+
+func (c *depSteerCore) dispatch(d *dyn) {
+	f := c.steerTarget(d)
+	d.sched = f
+	c.fifos[f] = append(c.fifos[f], d)
+}
+
+func (c *depSteerCore) issue(m *Machine, t uint64) {
+	// Heads only, oldest first across FIFOs.
+	type head struct {
+		f int
+		d *dyn
+	}
+	var heads []head
+	for f, q := range c.fifos {
+		if len(q) > 0 {
+			heads = append(heads, head{f, q[0]})
+		}
+	}
+	for swapped := true; swapped; { // tiny fixed-size sort by age
+		swapped = false
+		for i := 0; i+1 < len(heads); i++ {
+			if heads[i+1].d.seq < heads[i].d.seq {
+				heads[i], heads[i+1] = heads[i+1], heads[i]
+				swapped = true
+			}
+		}
+	}
+	for _, h := range heads {
+		if m.issuedThisCycle >= m.cfg.IssueWidth {
+			return
+		}
+		if m.tryIssue(h.d, t) {
+			c.fifos[h.f] = c.fifos[h.f][1:]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Braid core: braids are distributed whole to braid execution units. A BEU
+// owns one braid at a time ("a BEU can accept a new braid if it is not
+// processing another braid", §3.3); its FIFO buffers that braid and the
+// two-entry window at the head is examined for readiness each cycle, with
+// two functional units per BEU. The internal register file is private to
+// the braid and recycled when the braid finishes issuing.
+
+type beu struct {
+	fifo []*dyn
+	busy bool // owns a braid whose instructions are not all issued
+	open bool // still receiving the braid from distribute
+}
+
+type braidCore struct {
+	cfg      *Config
+	beus     []beu
+	cur      int    // BEU receiving the current braid; -1 if none
+	nextRR   int    // round-robin allocation pointer
+	braidSeq uint64 // increments at each braid start
+
+	// serialized routes every braid to BEU 0: §3.4's exception mode,
+	// which turns the machine into a strict in-order processor while the
+	// handler runs.
+	serialized bool
+}
+
+// setSerialized enters or leaves §3.4's exception mode. The engine only
+// toggles it with the pipeline drained, so every braid has fully issued and
+// any BEU still marked as receiving can be closed and released.
+func (c *braidCore) setSerialized(on bool) {
+	c.serialized = on
+	c.cur = -1
+	for i := range c.beus {
+		c.beus[i].open = false
+		if len(c.beus[i].fifo) == 0 {
+			c.beus[i].busy = false
+		}
+	}
+}
+
+func newBraidCore(cfg *Config) *braidCore {
+	return &braidCore{cfg: cfg, beus: make([]beu, cfg.BEUs), cur: -1}
+}
+
+func (c *braidCore) freeBEU() int {
+	if c.serialized {
+		if !c.beus[0].busy {
+			return 0
+		}
+		return -1
+	}
+	for k := 0; k < len(c.beus); k++ {
+		i := (c.nextRR + k) % len(c.beus)
+		if !c.beus[i].busy {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *braidCore) canAccept(d *dyn) bool {
+	if c.cfg.BEUQueueBraids {
+		if d.braidStart || c.cur < 0 {
+			return c.pickQueuedBEU() >= 0
+		}
+		return len(c.beus[c.cur].fifo) < c.cfg.BEUFIFO
+	}
+	if d.braidStart || c.cur < 0 {
+		// Seeing the next braid's first instruction means the current
+		// braid has fully dispatched (braids are consecutive), so its
+		// BEU stops receiving now — it frees once its FIFO drains,
+		// which keeps a one-BEU machine live.
+		if c.cur >= 0 {
+			c.beus[c.cur].open = false
+			if len(c.beus[c.cur].fifo) == 0 {
+				c.beus[c.cur].busy = false
+			}
+		}
+		return c.freeBEU() >= 0
+	}
+	return len(c.beus[c.cur].fifo) < c.cfg.BEUFIFO
+}
+
+// pickQueuedBEU chooses the least-loaded BEU with FIFO room.
+func (c *braidCore) pickQueuedBEU() int {
+	best := -1
+	for i := range c.beus {
+		if len(c.beus[i].fifo) >= c.cfg.BEUFIFO {
+			continue
+		}
+		if best < 0 || len(c.beus[i].fifo) < len(c.beus[best].fifo) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (c *braidCore) dispatch(d *dyn) {
+	if c.cfg.BEUQueueBraids {
+		if d.braidStart || c.cur < 0 {
+			c.cur = c.pickQueuedBEU()
+			c.braidSeq++
+		}
+		d.beu = c.cur
+		d.braidID = c.braidSeq
+		c.beus[c.cur].fifo = append(c.beus[c.cur].fifo, d)
+		return
+	}
+	if d.braidStart || c.cur < 0 {
+		if c.cur >= 0 {
+			c.beus[c.cur].open = false
+		}
+		i := c.freeBEU()
+		c.cur = i
+		c.nextRR = (i + 1) % len(c.beus)
+		c.beus[i].busy = true
+		c.beus[i].open = true
+		c.braidSeq++
+	}
+	d.beu = c.cur
+	d.braidID = c.braidSeq
+	c.beus[c.cur].fifo = append(c.beus[c.cur].fifo, d)
+}
+
+func (c *braidCore) issue(m *Machine, t uint64) {
+	for i := range c.beus {
+		b := &c.beus[i]
+		if len(b.fifo) == 0 {
+			if b.busy && !b.open {
+				b.busy = false // braid fully issued: release the BEU
+			}
+			continue
+		}
+		issued := 0
+		head := b.fifo[0].braidID
+		// Examine the window at the FIFO head; issue ready entries
+		// (out of order within the window), up to the per-BEU FUs.
+		for w := 0; w < c.cfg.BEUWindow && w < len(b.fifo) && issued < c.cfg.BEUFUs; {
+			d := b.fifo[w]
+			if c.cfg.BEUQueueBraids && d.braidID != head {
+				break // the queued next braid waits for the head braid
+			}
+			if m.tryIssue(d, t) {
+				b.fifo = append(b.fifo[:w], b.fifo[w+1:]...)
+				issued++
+				continue // the window slides up; re-examine slot w
+			}
+			w++
+			if m.issuedThisCycle >= m.cfg.IssueWidth {
+				return
+			}
+		}
+		if len(b.fifo) == 0 && b.busy && !b.open {
+			b.busy = false
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package uarch
+
+import "braid/internal/isa"
+
+// source is one register-carried dependence of a dynamic instruction.
+type source struct {
+	producer *dyn // nil: value available from architectural state
+	internal bool // satisfied from a BEU's internal register file
+}
+
+// dyn is one dynamic instruction flowing through the timing model. Its
+// functional effects (branch outcome, memory address) were computed by the
+// front end at fetch; the timing fields are filled in as it advances.
+type dyn struct {
+	seq  uint64
+	idx  int // static instruction index
+	in   *isa.Instruction
+	addr uint64 // memory address (loads/stores)
+
+	isLoad, isStore, isBranch bool
+	taken                     bool
+	mispredicted              bool
+
+	braidStart bool
+	braidID    uint64 // braid core: which braid this instruction belongs to
+	beu        int    // braid core: owning BEU
+	sched      int    // out-of-order: scheduler; dep-steer: FIFO
+
+	srcs  [3]source
+	nsrcs int
+
+	hasExtDest bool // writes the external register file
+	hasIntDest bool // writes a BEU-internal register
+
+	fetchCycle    uint64
+	dispatchReady uint64
+	dispatchCycle uint64
+	dispatched    bool
+
+	issued     bool
+	issueCycle uint64
+	execDone   uint64 // functional-unit result ready
+
+	completed     bool
+	completeCycle uint64 // external value written back (visible)
+	bypassed      bool   // granted a bypass-network slot at writeback
+
+	retired bool
+
+	// Early-release bookkeeping for the external register file entry
+	// (dead-value information, DESIGN.md §1): the entry frees when the
+	// value is written back, every consumer has issued, and the next
+	// writer of the register has been fetched.
+	pendingReads int
+	closed       bool // next writer of the register has been fetched
+	entryFreed   bool
+}
+
+// latency returns d's functional-unit latency (memory handled separately).
+func (m *Machine) latency(d *dyn) int {
+	switch d.in.Info().Class {
+	case isa.ClassIntALU, isa.ClassNop, isa.ClassBranch:
+		return m.cfg.LatIntALU
+	case isa.ClassIntMul:
+		return m.cfg.LatIntMul
+	case isa.ClassIntDiv:
+		return m.cfg.LatIntDiv
+	case isa.ClassFPAdd:
+		return m.cfg.LatFPAdd
+	case isa.ClassFPMul:
+		return m.cfg.LatFPMul
+	case isa.ClassFPDiv:
+		return m.cfg.LatFPDiv
+	}
+	return 1
+}
+
+// intReady reports whether an internal-file source from producer p can feed
+// an issue at cycle t (internal writes forward directly inside the BEU).
+func intReady(p *dyn, t uint64) bool {
+	return p.issued && t >= p.execDone
+}

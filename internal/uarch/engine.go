@@ -1,0 +1,574 @@
+package uarch
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"braid/internal/isa"
+	"braid/internal/mem"
+)
+
+// core is one execution-core paradigm: it owns dispatch structure (windows,
+// FIFOs, BEUs) and per-cycle instruction selection. The engine owns operand
+// readiness, register-file ports and occupancy, the bypass network, the
+// functional-unit pool, the LSQ, retirement, and the front end.
+type core interface {
+	// canAccept reports whether one more instruction can be dispatched
+	// this cycle (called in program order; dispatch stops at the first
+	// refusal).
+	canAccept(d *dyn) bool
+	// dispatch inserts the instruction into the core's structures.
+	dispatch(d *dyn)
+	// issue selects and issues instructions for cycle t by calling
+	// m.tryIssue on candidates, respecting the core's structural rules.
+	issue(m *Machine, t uint64)
+}
+
+// Stats accumulates one run's results.
+type Stats struct {
+	Cycles  uint64
+	Retired uint64
+	Fetched uint64
+
+	CondBranches uint64
+	Mispredicts  uint64
+	Loads        uint64
+	StoreCount   uint64
+	Exceptions   uint64
+
+	ICacheMissCycles uint64
+	IssueStalls      uint64 // tryIssue rejections (any reason)
+
+	// Utilization diagnostics.
+	IdleCycles       uint64 // cycles with no instruction issued
+	FetchStallCycles uint64 // cycles fetch was blocked on a misprediction
+	robOccupancySum  uint64
+	issuedSum        uint64
+	RFEntryStalls    uint64 // writebacks delayed by a full register file
+	PortStalls       uint64 // issues blocked on read ports
+	BypassDenied     uint64 // writebacks that missed a bypass slot
+	RFPeak           int
+}
+
+// IPC is retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// MeanROBOccupancy is the average number of in-flight instructions.
+func (s *Stats) MeanROBOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.robOccupancySum) / float64(s.Cycles)
+}
+
+// MispredictRate is per conditional branch.
+func (s *Stats) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+// Machine is one configured simulation of one program.
+type Machine struct {
+	cfg  Config
+	prog *isa.Program
+	fe   *frontend
+	cre  core
+	hier *mem.Hierarchy
+
+	rob    []*dyn // in flight, in fetch order
+	stores []*dyn // in-flight stores for the LSQ
+	wbq    []*dyn // issued, awaiting writeback processing
+
+	seq   uint64
+	cycle uint64
+
+	rfUsed          int
+	readPortsUsed   int
+	writePortsUsed  int
+	bypassUsed      int
+	fusUsed         int
+	issuedThisCycle int
+
+	stats Stats
+
+	trace      io.Writer
+	traceMax   int
+	traceCount int
+
+	konata      io.Writer
+	konataMax   int
+	konataCount int
+
+	// §3.4 exception-mode state.
+	sinceException uint64
+	draining       bool
+	serializedLeft int
+}
+
+// New builds a machine for the program under the configuration.
+func New(p *isa.Program, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := mem.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, prog: p, hier: hier}
+	// Warm the caches to steady state: the paper measures whole
+	// MinneSPEC runs where cold misses are negligible; our runs are
+	// short enough that they would otherwise dominate. The instruction
+	// side covers the text segment; the data side pre-touches the first
+	// megabyte of the data space, so only footprints larger than the L2
+	// (the genuinely memory-bound benchmarks) keep missing to memory.
+	for i := 0; i < len(p.Instrs); i += 8 {
+		hier.AccessI(instrAddr(i))
+	}
+	for off := uint64(0); off < 1<<20; off += 64 {
+		hier.AccessD(isa.DataBase + off)
+	}
+	m.fe = newFrontend(p, &cfg)
+	switch cfg.Core {
+	case CoreOutOfOrder:
+		m.cre = newOOOCore(&cfg)
+	case CoreInOrder:
+		m.cre = newInOrderCore(&cfg)
+	case CoreDepSteer:
+		m.cre = newDepSteerCore(&cfg)
+	case CoreBraid:
+		m.cre = newBraidCore(&cfg)
+	default:
+		return nil, fmt.Errorf("uarch: unknown core kind %d", cfg.Core)
+	}
+	return m, nil
+}
+
+// Run simulates to completion and returns the statistics.
+func (m *Machine) Run() (*Stats, error) {
+	for {
+		if m.cycle >= m.cfg.MaxCycles {
+			return nil, fmt.Errorf("uarch: %s on %q exceeded %d cycles", m.cfg.Core, m.prog.Name, m.cfg.MaxCycles)
+		}
+		t := m.cycle
+		m.resetCycle()
+		m.writeback(t)
+		m.retire(t)
+		m.cre.issue(m, t)
+		m.dispatch(t)
+		m.fe.fetch(m, t)
+		if m.cfg.Paranoid {
+			m.checkInvariants(t)
+		}
+		if m.issuedThisCycle == 0 {
+			m.stats.IdleCycles++
+		}
+		if m.fe.stalledOn != nil {
+			m.stats.FetchStallCycles++
+		}
+		m.stats.robOccupancySum += uint64(len(m.rob))
+		m.stats.issuedSum += uint64(m.issuedThisCycle)
+		m.cycle++
+		if m.fe.done && len(m.rob) == 0 && len(m.fe.queue) == 0 {
+			break
+		}
+	}
+	m.stats.Cycles = m.cycle
+	return &m.stats, nil
+}
+
+func (m *Machine) resetCycle() {
+	m.readPortsUsed = 0
+	m.writePortsUsed = 0
+	m.bypassUsed = 0
+	m.fusUsed = 0
+	m.issuedThisCycle = 0
+}
+
+// writeback processes issued instructions whose functional units have
+// produced a result. External-destination results need a register-file
+// entry and a write port; they retry every cycle until granted (oldest
+// first). Everything else completes unconditionally.
+func (m *Machine) writeback(t uint64) {
+	if len(m.wbq) == 0 {
+		return
+	}
+	sort.Slice(m.wbq, func(i, j int) bool { return m.wbq[i].seq < m.wbq[j].seq })
+	remaining := m.wbq[:0]
+	for _, d := range m.wbq {
+		if d.execDone > t {
+			remaining = append(remaining, d)
+			continue
+		}
+		if d.hasExtDest {
+			// The oldest in-flight instruction may always take an
+			// entry (transiently exceeding the limit) — otherwise
+			// younger completed values waiting to retire behind it
+			// would deadlock the machine.
+			oldest := len(m.rob) > 0 && m.rob[0] == d
+			if (m.rfUsed >= m.cfg.RFEntries && !oldest) || m.writePortsUsed >= m.cfg.RFWritePorts {
+				if m.rfUsed >= m.cfg.RFEntries && !oldest {
+					m.stats.RFEntryStalls++
+				}
+				remaining = append(remaining, d)
+				continue
+			}
+			m.rfUsed++
+			if m.rfUsed > m.stats.RFPeak {
+				m.stats.RFPeak = m.rfUsed
+			}
+			m.writePortsUsed++
+			if m.bypassUsed < m.cfg.BypassValues {
+				m.bypassUsed++
+				d.bypassed = true
+			} else {
+				m.stats.BypassDenied++
+			}
+		}
+		d.completed = true
+		d.completeCycle = t
+		m.tryEarlyRelease(d)
+		if d.mispredicted {
+			// Redirect: fetch resumes after the configured gap.
+			m.fe.stalledOn = nil
+			m.fe.blockedUntil = t + 1 + m.cfg.redirectGap()
+			m.fe.haveLine = false
+		}
+	}
+	m.wbq = remaining
+}
+
+// retire commits completed instructions in order, up to the retire width.
+// Stores write the data cache at retirement; external register-file entries
+// are released (the value is architecturally committed; DESIGN.md §1).
+func (m *Machine) retire(t uint64) {
+	width := m.cfg.IssueWidth
+	n := 0
+	for len(m.rob) > 0 && n < width {
+		d := m.rob[0]
+		if !d.completed || d.completeCycle > t {
+			break
+		}
+		if d.isStore {
+			m.hier.AccessD(d.addr)
+			// Remove from the LSQ.
+			for i, s := range m.stores {
+				if s == d {
+					m.stores = append(m.stores[:i], m.stores[i+1:]...)
+					break
+				}
+			}
+		}
+		if d.hasExtDest && !d.entryFreed {
+			d.entryFreed = true
+			m.rfUsed--
+		}
+		d.retired = true
+		m.traceRetire(d, t)
+		m.konataRetire(d, t)
+		m.rob = m.rob[1:]
+		m.stats.Retired++
+		n++
+		if m.cfg.ExceptionEvery > 0 {
+			m.sinceException++
+			if m.sinceException >= m.cfg.ExceptionEvery {
+				m.sinceException = 0
+				m.draining = true
+				m.stats.Exceptions++
+			}
+		}
+	}
+}
+
+// dispatch moves fetched instructions into the core, in order, limited by
+// the allocate/rename bandwidth of Table 4 (only external destinations are
+// allocated; only external sources are renamed). Exception handling (§3.4)
+// first drains the machine, restores the checkpoint (modeled as the
+// misprediction penalty), and then serializes dispatch through one unit.
+func (m *Machine) dispatch(t uint64) {
+	if m.draining {
+		if len(m.rob) > 0 {
+			return // wait for the pipeline to empty
+		}
+		m.draining = false
+		m.serializedLeft = m.cfg.ExceptionHandler
+		if m.serializedLeft <= 0 {
+			m.serializedLeft = 64
+		}
+		m.fe.blockedUntil = t + uint64(m.cfg.MispredictMin)
+		if sz, ok := m.cre.(serializer); ok {
+			sz.setSerialized(true)
+		}
+		return
+	}
+	allocUsed, renameUsed, moved := 0, 0, 0
+	for len(m.fe.queue) > 0 && moved < m.cfg.FetchWidth {
+		d := m.fe.queue[0]
+		if d.dispatchReady > t || len(m.rob) >= m.cfg.ROB {
+			return
+		}
+		needAlloc := 0
+		if d.hasExtDest {
+			needAlloc = 1
+		}
+		if allocUsed+needAlloc > m.cfg.AllocWidth || renameUsed+d.extSrcCount() > m.cfg.RenameSrc {
+			return
+		}
+		if !m.cre.canAccept(d) {
+			return
+		}
+		allocUsed += needAlloc
+		renameUsed += d.extSrcCount()
+		m.cre.dispatch(d)
+		d.dispatched = true
+		d.dispatchCycle = t
+		m.rob = append(m.rob, d)
+		if d.isStore {
+			m.stores = append(m.stores, d)
+			m.stats.StoreCount++
+		}
+		if d.isLoad {
+			m.stats.Loads++
+		}
+		m.fe.queue = m.fe.queue[1:]
+		moved++
+		if m.serializedLeft > 0 {
+			m.serializedLeft--
+			if m.serializedLeft == 0 {
+				if sz, ok := m.cre.(serializer); ok {
+					sz.setSerialized(false)
+				}
+			}
+		}
+	}
+}
+
+// serializer is implemented by cores that support §3.4's exception mode.
+type serializer interface{ setSerialized(bool) }
+
+// srcsReady checks operand availability at cycle t and counts the external
+// register-file read ports the issue would need (bypassed and internal
+// operands are free).
+func (m *Machine) srcsReady(d *dyn, t uint64) (ports int, ok bool) {
+	for i := 0; i < d.nsrcs; i++ {
+		s := &d.srcs[i]
+		p := s.producer
+		if s.internal {
+			if !intReady(p, t) {
+				return 0, false
+			}
+			continue
+		}
+		if p == nil || p.retired {
+			// Architectural state: needs a read port.
+			ports++
+			continue
+		}
+		if !p.completed || p.completeCycle > t {
+			return 0, false
+		}
+		if m.crossCluster(p, d) {
+			// §5.2 clustering: a value crossing clusters pays the
+			// inter-cluster delay and cannot be caught on the
+			// producing cluster's bypass network.
+			if t < p.completeCycle+uint64(m.cfg.InterClusterDelay) {
+				return 0, false
+			}
+			ports++
+			continue
+		}
+		if p.bypassed && t <= p.completeCycle+uint64(m.cfg.BypassLevels) {
+			continue // caught on the bypass network
+		}
+		if t < p.completeCycle+uint64(m.cfg.ExtWakeupExtra) {
+			return 0, false // busy-bit propagation across units
+		}
+		ports++
+	}
+	return ports, true
+}
+
+// crossCluster reports whether a value produced by p crosses a cluster
+// boundary to reach d (braid core with clustering enabled only).
+func (m *Machine) crossCluster(p, d *dyn) bool {
+	if m.cfg.Clusters <= 1 || p.beu < 0 || d.beu < 0 {
+		return false
+	}
+	per := m.cfg.BEUs / m.cfg.Clusters
+	if per <= 0 {
+		return false
+	}
+	return p.beu/per != d.beu/per
+}
+
+// tryIssue attempts to issue d at cycle t, honoring the global issue width,
+// the functional-unit pool, operand readiness, register-file read ports, and
+// the load-store queue. On success the completion time is scheduled.
+func (m *Machine) tryIssue(d *dyn, t uint64) bool {
+	if d.issued {
+		return false
+	}
+	if m.issuedThisCycle >= m.cfg.IssueWidth || m.fusUsed >= m.cfg.TotalFUs {
+		m.stats.IssueStalls++
+		return false
+	}
+	ports, ok := m.srcsReady(d, t)
+	if !ok {
+		return false
+	}
+	if ports > m.cfg.RFReadPorts {
+		// An instruction needing more operands than the file has ports
+		// collects them over several cycles; approximate by letting it
+		// monopolize a full cycle's read bandwidth (otherwise a
+		// three-source conditional move could deadlock a two-port
+		// machine).
+		ports = m.cfg.RFReadPorts
+	}
+	if m.readPortsUsed+ports > m.cfg.RFReadPorts {
+		m.stats.PortStalls++
+		return false
+	}
+
+	var execDone uint64
+	switch {
+	case d.isLoad:
+		done, ok := m.issueLoad(d, t)
+		if !ok {
+			return false
+		}
+		execDone = done
+	case d.isStore:
+		execDone = t + uint64(m.cfg.LatAGU)
+	default:
+		execDone = t + uint64(m.latency(d))
+	}
+
+	m.readPortsUsed += ports
+	m.fusUsed++
+	m.issuedThisCycle++
+	d.issued = true
+	d.issueCycle = t
+	d.execDone = execDone
+	// The issue consumed its operands: dead values may free their
+	// register-file entries (dead-value early release, DESIGN.md §1).
+	for i := 0; i < d.nsrcs; i++ {
+		s := &d.srcs[i]
+		if !s.internal && s.producer != nil && !s.producer.retired {
+			s.producer.pendingReads--
+			m.tryEarlyRelease(s.producer)
+		}
+	}
+	m.wbq = append(m.wbq, d)
+	return true
+}
+
+// tryEarlyRelease frees p's external register-file entry once the value is
+// provably dead: written back, all fetched consumers issued, and the next
+// writer of the architectural register fetched (the compiler's dead-value
+// assertion). Branch recovery needs no entry either way because checkpoints
+// repair the map, per the paper's §3.4.
+func (m *Machine) tryEarlyRelease(p *dyn) {
+	if !m.cfg.DeadValueRelease {
+		return
+	}
+	if p.entryFreed || !p.hasExtDest || !p.completed || !p.closed || p.pendingReads > 0 || p.retired {
+		return
+	}
+	p.entryFreed = true
+	m.rfUsed--
+}
+
+// issueLoad applies the LSQ rules: a load may issue once every older store
+// that could alias it (per the compiler's alias classes) has computed its
+// address; an overlapping in-flight store forwards its data.
+func (m *Machine) issueLoad(d *dyn, t uint64) (uint64, bool) {
+	bytes := uint64(d.in.Info().MemBytes)
+	var fwd *dyn
+	for _, s := range m.stores {
+		if s.seq >= d.seq {
+			break
+		}
+		if !s.issued {
+			if mayAliasInstr(d.in, s.in) {
+				return 0, false // older store address unknown
+			}
+			continue
+		}
+		sb := uint64(s.in.Info().MemBytes)
+		if s.addr < d.addr+bytes && d.addr < s.addr+sb {
+			fwd = s // youngest overlapping store wins
+		}
+	}
+	agu := t + uint64(m.cfg.LatAGU)
+	if fwd != nil {
+		done := agu + 1
+		if fwd.execDone+1 > done {
+			done = fwd.execDone + 1
+		}
+		return done, true
+	}
+	return agu + uint64(m.hier.AccessD(d.addr)), true
+}
+
+// mayAliasInstr mirrors the braid compiler's static disambiguation.
+func mayAliasInstr(a, b *isa.Instruction) bool {
+	if a.AliasClass == 0 || b.AliasClass == 0 {
+		return true
+	}
+	return a.AliasClass == b.AliasClass
+}
+
+// Simulate is the package's main entry point: run program p on cfg.
+func Simulate(p *isa.Program, cfg Config) (*Stats, error) {
+	m, err := New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// checkInvariants asserts per-cycle internal consistency; enabled by
+// Config.Paranoid (tests). Violations panic: they are simulator bugs, never
+// program behavior.
+func (m *Machine) checkInvariants(t uint64) {
+	if m.rfUsed < 0 || m.rfUsed > m.cfg.RFEntries+1 {
+		panic(fmt.Sprintf("uarch: cycle %d: rfUsed %d out of range [0,%d+1]", t, m.rfUsed, m.cfg.RFEntries))
+	}
+	if m.readPortsUsed > m.cfg.RFReadPorts || m.writePortsUsed > m.cfg.RFWritePorts {
+		panic(fmt.Sprintf("uarch: cycle %d: port counters exceed limits (%d/%d reads, %d/%d writes)",
+			t, m.readPortsUsed, m.cfg.RFReadPorts, m.writePortsUsed, m.cfg.RFWritePorts))
+	}
+	if m.bypassUsed > m.cfg.BypassValues || m.fusUsed > m.cfg.TotalFUs || m.issuedThisCycle > m.cfg.IssueWidth {
+		panic(fmt.Sprintf("uarch: cycle %d: execution counters exceed limits", t))
+	}
+	var prev uint64
+	for i, d := range m.rob {
+		if d.seq <= prev {
+			panic(fmt.Sprintf("uarch: cycle %d: rob[%d] out of age order", t, i))
+		}
+		prev = d.seq
+		if d.retired {
+			panic(fmt.Sprintf("uarch: cycle %d: retired instruction still in rob", t))
+		}
+	}
+	for _, d := range m.wbq {
+		if !d.issued || d.completed {
+			panic(fmt.Sprintf("uarch: cycle %d: wbq holds seq %d issued=%v completed=%v",
+				t, d.seq, d.issued, d.completed))
+		}
+	}
+	prev = 0
+	for i, s := range m.stores {
+		if s.seq <= prev {
+			panic(fmt.Sprintf("uarch: cycle %d: stores[%d] out of age order", t, i))
+		}
+		prev = s.seq
+	}
+}

@@ -1,0 +1,83 @@
+package uarch
+
+import (
+	"testing"
+
+	"braid/internal/braid"
+	"braid/internal/interp"
+	"braid/internal/workload"
+)
+
+// TestExceptionSerialization exercises §3.4's exception mode: injected
+// exceptions drain the pipeline, pay the checkpoint-restore penalty, and
+// serialize the handler window through BEU 0. Retirement stays exact and
+// each exception costs a measurable number of cycles.
+func TestExceptionSerialization(t *testing.T) {
+	prof, _ := workload.ProfileByName("gcc")
+	p, err := workload.Generate(prof, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := braid.Compile(p, braid.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := interp.RunProgram(p, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := BraidConfig(8)
+	sb, err := Simulate(res.Prog, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exc := BraidConfig(8)
+	exc.ExceptionEvery = 1000
+	exc.ExceptionHandler = 64
+	exc.Paranoid = true
+	se, err := Simulate(res.Prog, exc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if se.Retired != fs.Steps {
+		t.Fatalf("exceptions changed retirement: %d vs %d", se.Retired, fs.Steps)
+	}
+	wantExc := fs.Steps / 1000
+	if se.Exceptions < wantExc-1 || se.Exceptions > wantExc+1 {
+		t.Errorf("exceptions = %d, want ~%d", se.Exceptions, wantExc)
+	}
+	if se.Cycles <= sb.Cycles {
+		t.Errorf("exceptions were free: %d vs %d cycles", se.Cycles, sb.Cycles)
+	}
+	perException := float64(se.Cycles-sb.Cycles) / float64(se.Exceptions)
+	// Each exception costs at least the drain + restore penalty, and the
+	// serialized handler window costs far more than normal execution.
+	if perException < float64(exc.MispredictMin) {
+		t.Errorf("%.1f cycles per exception, below the restore penalty %d", perException, exc.MispredictMin)
+	}
+	t.Logf("%d exceptions, %.0f cycles each (base %d cycles, with %d)",
+		se.Exceptions, perException, sb.Cycles, se.Cycles)
+}
+
+// TestExceptionModeOnConventionalCore: injection works on cores without a
+// serializer too (they just drain and pay the penalty).
+func TestExceptionModeOnConventionalCore(t *testing.T) {
+	prof, _ := workload.ProfileByName("crafty")
+	p, err := workload.Generate(prof, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := OutOfOrderConfig(8)
+	cfg.ExceptionEvery = 500
+	cfg.Paranoid = true
+	st, err := Simulate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Exceptions == 0 {
+		t.Error("no exceptions injected")
+	}
+}

@@ -1,0 +1,200 @@
+package uarch
+
+import (
+	"braid/internal/bpred"
+	"braid/internal/interp"
+	"braid/internal/isa"
+)
+
+// textBase is the virtual address of the text segment; each BRD64
+// instruction occupies 8 bytes for instruction-cache purposes.
+const textBase = 0x1000
+
+// frontend fetches the correct dynamic instruction stream by executing the
+// program functionally, applying instruction-cache and branch-prediction
+// timing. A mispredicted conditional branch stops fetch; the engine restarts
+// it when the branch executes, after the configured redirect gap.
+type frontend struct {
+	m    *interp.Machine
+	pred bpred.Predictor
+
+	queue    []*dyn // fetched, awaiting dispatch
+	queueCap int
+
+	done         bool   // HALT fetched
+	stalledOn    *dyn   // mispredicted branch blocking fetch
+	blockedUntil uint64 // icache miss fill time
+	lastLine     uint64
+	haveLine     bool
+
+	// Owner tables for dependence construction at fetch time.
+	extOwner [isa.NumArchRegs]*dyn
+	intOwner [isa.NumInternalRegs]*dyn
+}
+
+func newFrontend(p *isa.Program, cfg *Config) *frontend {
+	var pred bpred.Predictor
+	if cfg.PerfectBP {
+		pred = bpred.Perfect{}
+	} else {
+		pred = bpred.NewPerceptron(512, 64)
+	}
+	return &frontend{
+		m:    interp.New(p),
+		pred: pred,
+		// The fetch-to-dispatch buffer must cover the front end's
+		// bandwidth-delay product (instructions are in flight for
+		// FrontDepth cycles before dispatch) or it, rather than the
+		// modeled resources, becomes the IPC ceiling.
+		queueCap: cfg.FetchWidth * (cfg.FrontDepth + 4),
+	}
+}
+
+func instrAddr(idx int) uint64 { return textBase + uint64(idx)*8 }
+
+// fetch runs one front-end cycle at time t.
+func (fe *frontend) fetch(m *Machine, t uint64) {
+	if fe.done || fe.stalledOn != nil || t < fe.blockedUntil {
+		return
+	}
+	cfg := &m.cfg
+	branches := 0
+	for n := 0; n < cfg.FetchWidth; n++ {
+		if len(fe.queue) >= fe.queueCap {
+			return
+		}
+		pc := fe.m.PC
+		addr := instrAddr(pc)
+		line := addr >> 6
+		if !fe.haveLine || line != fe.lastLine {
+			lat := m.hier.AccessI(addr)
+			fe.lastLine, fe.haveLine = line, true
+			if lat > cfg.Mem.L1I.Latency {
+				// Miss: the line arrives later; re-fetch then.
+				fe.blockedUntil = t + uint64(lat)
+				m.stats.ICacheMissCycles += uint64(lat)
+				return
+			}
+		}
+
+		var info interp.StepInfo
+		if err := fe.m.Step(&info); err != nil {
+			// Out-of-range PC or similar: treat as end of program.
+			fe.done = true
+			return
+		}
+		d := fe.buildDyn(m, &info, t)
+		fe.queue = append(fe.queue, d)
+		m.stats.Fetched++
+
+		if d.in.IsHalt() {
+			fe.done = true
+			return
+		}
+		if d.isBranch {
+			branches++
+			if d.in.IsCondBranch() {
+				m.stats.CondBranches++
+				predicted := fe.pred.Predict(addr, d.taken)
+				fe.pred.Train(addr, d.taken)
+				if predicted != d.taken {
+					d.mispredicted = true
+					m.stats.Mispredicts++
+					fe.stalledOn = d
+					return
+				}
+			}
+			if d.taken {
+				// A taken branch redirects fetch: the rest of this
+				// cycle's fetch slots are lost, as in any real front
+				// end (the 3-branch throughput of Table 4 applies to
+				// the not-taken branches within a fetch group).
+				return
+			}
+			if branches >= cfg.FetchBranches {
+				return
+			}
+		}
+	}
+}
+
+// buildDyn wires the dependence edges using the owner tables.
+func (fe *frontend) buildDyn(m *Machine, info *interp.StepInfo, t uint64) *dyn {
+	in := info.Instr
+	m.seq++
+	d := &dyn{
+		seq:           m.seq,
+		idx:           info.Index,
+		in:            in,
+		addr:          info.Addr,
+		isLoad:        in.IsLoad(),
+		isStore:       in.IsStore(),
+		isBranch:      in.IsBranch(),
+		taken:         info.Taken,
+		braidStart:    in.Start,
+		beu:           -1,
+		sched:         -1,
+		fetchCycle:    t,
+		dispatchReady: t + uint64(m.cfg.FrontDepth),
+	}
+	if d.braidStart {
+		// Internal values never cross braid boundaries (§3.4).
+		fe.intOwner = [isa.NumInternalRegs]*dyn{}
+	}
+
+	addSrc := func(p *dyn, internal bool) {
+		if p == nil {
+			return // architectural state: always ready
+		}
+		d.srcs[d.nsrcs] = source{producer: p, internal: internal}
+		d.nsrcs++
+		if !internal && !p.retired {
+			p.pendingReads++
+		}
+	}
+	info2 := in.Info()
+	if info2.NumSrcs >= 1 {
+		if in.T1 {
+			addSrc(fe.intOwner[in.I1], true)
+		} else if in.Src1 != isa.RegNone && in.Src1 != isa.RegZero {
+			addSrc(fe.extOwner[in.Src1], false)
+		}
+	}
+	if info2.NumSrcs >= 2 && !in.HasImm {
+		if in.T2 {
+			addSrc(fe.intOwner[in.I2], true)
+		} else if in.Src2 != isa.RegNone && in.Src2 != isa.RegZero {
+			addSrc(fe.extOwner[in.Src2], false)
+		}
+	}
+	if info2.ReadsDest && in.Dest != isa.RegNone && in.Dest != isa.RegZero {
+		// Conditional moves read their old destination from the
+		// external file (the braid ISA has no T bit for it).
+		addSrc(fe.extOwner[in.Dest], false)
+	}
+
+	if in.WritesReg() && in.Dest != isa.RegZero && (in.EDest || !in.IDest) {
+		d.hasExtDest = true
+		if old := fe.extOwner[in.Dest]; old != nil {
+			old.closed = true
+			m.tryEarlyRelease(old)
+		}
+		fe.extOwner[in.Dest] = d
+	}
+	if in.IDest {
+		d.hasIntDest = true
+		fe.intOwner[in.IDestIdx] = d
+	}
+	return d
+}
+
+// extSrcCount counts external source operands for rename bandwidth.
+func (d *dyn) extSrcCount() int {
+	n := 0
+	for i := 0; i < d.nsrcs; i++ {
+		if !d.srcs[i].internal {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,111 @@
+package uarch
+
+import (
+	"testing"
+
+	"braid/internal/braid"
+	"braid/internal/interp"
+	"braid/internal/workload"
+)
+
+// TestRandomProgramsOnAllCores drives adversarial random programs through
+// every execution core. The timing model must retire exactly the dynamic
+// instruction stream the architectural interpreter executes — no more, no
+// fewer, and without deadlocking — for both original and braided binaries.
+func TestRandomProgramsOnAllCores(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(100); seed < int64(100+n); seed++ {
+		p := workload.RandomProgram(seed)
+		fs, err := interp.RunProgram(p, 3_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := braid.Compile(p, braid.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cases := []struct {
+			name string
+			prog bool // braided?
+			cfg  Config
+		}{
+			{"inorder", false, InOrderConfig(8)},
+			{"depsteer", false, DepSteerConfig(8)},
+			{"ooo", false, OutOfOrderConfig(8)},
+			{"ooo4", false, OutOfOrderConfig(4)},
+			{"braid", true, BraidConfig(8)},
+			{"braid4", true, BraidConfig(4)},
+		}
+		for _, c := range cases {
+			prog := p
+			if c.prog {
+				prog = res.Prog
+			}
+			cfg := c.cfg
+			cfg.MaxCycles = 3_000_000
+			cfg.Paranoid = true
+			st, err := Simulate(prog, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, c.name, err)
+			}
+			if st.Retired != fs.Steps {
+				t.Fatalf("seed %d %s: retired %d, interpreter ran %d", seed, c.name, st.Retired, fs.Steps)
+			}
+		}
+	}
+}
+
+// TestRandomProgramsUnderTinyResources squeezes the same corpus through
+// deliberately starved machines: 4-entry register files, one write port, a
+// single BEU, a one-entry window. Nothing may deadlock, and retirement must
+// stay exact.
+func TestRandomProgramsUnderTinyResources(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 6
+	}
+	for seed := int64(300); seed < int64(300+n); seed++ {
+		p := workload.RandomProgram(seed)
+		fs, err := interp.RunProgram(p, 3_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := braid.Compile(p, braid.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tiny := OutOfOrderConfig(4)
+		tiny.RFEntries = 4
+		tiny.RFWritePorts = 1
+		tiny.RFReadPorts = 2
+		tiny.MaxCycles = 5_000_000
+		tiny.Paranoid = true
+		st, err := Simulate(p, tiny)
+		if err != nil {
+			t.Fatalf("seed %d starved ooo: %v", seed, err)
+		}
+		if st.Retired != fs.Steps {
+			t.Fatalf("seed %d starved ooo: retired %d want %d", seed, st.Retired, fs.Steps)
+		}
+
+		bt := BraidConfig(4)
+		bt.BEUs = 1
+		bt.BEUWindow = 1
+		bt.BEUFUs = 1
+		bt.TotalFUs = 1
+		bt.RFEntries = 4
+		bt.MaxCycles = 5_000_000
+		bt.Paranoid = true
+		st, err = Simulate(res.Prog, bt)
+		if err != nil {
+			t.Fatalf("seed %d starved braid: %v", seed, err)
+		}
+		if st.Retired != fs.Steps {
+			t.Fatalf("seed %d starved braid: retired %d want %d", seed, st.Retired, fs.Steps)
+		}
+	}
+}

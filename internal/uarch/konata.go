@@ -1,0 +1,47 @@
+package uarch
+
+import (
+	"fmt"
+	"io"
+)
+
+// SetKonata attaches a Kanata-format pipeline log (the format read by the
+// Konata pipeline viewer): every retired instruction emits its fetch,
+// dispatch, issue, execute, writeback and commit stages, up to max
+// instructions (unlimited when max <= 0). Call before Run. The stages are
+// written at retirement using absolute cycle positioning, which Kanata
+// accepts.
+func (m *Machine) SetKonata(w io.Writer, max int) {
+	m.konata = w
+	m.konataMax = max
+	fmt.Fprintf(w, "Kanata\t0004\n")
+}
+
+func (m *Machine) konataRetire(d *dyn, t uint64) {
+	if m.konata == nil || (m.konataMax > 0 && m.konataCount >= m.konataMax) {
+		return
+	}
+	id := m.konataCount
+	m.konataCount++
+	w := m.konata
+	fmt.Fprintf(w, "C=\t%d\n", d.fetchCycle)
+	fmt.Fprintf(w, "I\t%d\t%d\t0\n", id, d.seq)
+	label := d.in.String()
+	if d.beu >= 0 {
+		label = fmt.Sprintf("[beu %d] %s", d.beu, label)
+	}
+	fmt.Fprintf(w, "L\t%d\t0\t%s\n", id, label)
+	stage := func(name string, from, to uint64) {
+		if to < from {
+			to = from
+		}
+		fmt.Fprintf(w, "C=\t%d\nS\t%d\t0\t%s\n", from, id, name)
+		fmt.Fprintf(w, "C=\t%d\nE\t%d\t0\t%s\n", to, id, name)
+	}
+	stage("F", d.fetchCycle, d.dispatchCycle)
+	stage("Ds", d.dispatchCycle, d.issueCycle)
+	stage("X", d.issueCycle, d.execDone)
+	stage("Wb", d.execDone, d.completeCycle)
+	stage("Cm", d.completeCycle, t)
+	fmt.Fprintf(w, "C=\t%d\nR\t%d\t%d\t0\n", t, id, id)
+}

@@ -1,0 +1,34 @@
+package uarch
+
+import (
+	"fmt"
+	"io"
+)
+
+// SetTrace attaches a pipeline trace writer: every retired instruction emits
+// one line with its per-stage cycle timestamps, up to max instructions
+// (unlimited when max <= 0). Call before Run.
+//
+// Columns: sequence number, static index, fetch / dispatch / issue /
+// execute-done / writeback / retire cycles, then the instruction. A braid
+// core additionally shows the owning BEU.
+func (m *Machine) SetTrace(w io.Writer, max int) {
+	m.trace = w
+	m.traceMax = max
+	fmt.Fprintf(w, "%6s %5s %7s %7s %7s %7s %7s %7s %4s  %s\n",
+		"seq", "idx", "fetch", "disp", "issue", "done", "wb", "retire", "beu", "instruction")
+}
+
+func (m *Machine) traceRetire(d *dyn, t uint64) {
+	if m.trace == nil || (m.traceMax > 0 && m.traceCount >= m.traceMax) {
+		return
+	}
+	m.traceCount++
+	beu := "-"
+	if d.beu >= 0 {
+		beu = fmt.Sprintf("%d", d.beu)
+	}
+	fmt.Fprintf(m.trace, "%6d %5d %7d %7d %7d %7d %7d %7d %4s  %s\n",
+		d.seq, d.idx, d.fetchCycle, d.dispatchCycle, d.issueCycle,
+		d.execDone, d.completeCycle, t, beu, d.in.String())
+}

@@ -1,0 +1,158 @@
+package uarch
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"braid/internal/braid"
+	"braid/internal/workload"
+)
+
+func TestTraceOutput(t *testing.T) {
+	k, _ := workload.KernelByName("dot")
+	res, err := braid.Compile(k, braid.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	m, err := New(res.Prog, BraidConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetTrace(&buf, 50)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() || !strings.Contains(sc.Text(), "fetch") {
+		t.Fatal("missing trace header")
+	}
+	lines := 0
+	lastRetire := int64(-1)
+	for sc.Scan() {
+		lines++
+		f := strings.Fields(sc.Text())
+		if len(f) < 10 {
+			t.Fatalf("short trace line: %q", sc.Text())
+		}
+		get := func(i int) int64 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				t.Fatalf("bad field %d in %q", i, sc.Text())
+			}
+			return v
+		}
+		fetch, disp, issue, done, wb, retire := get(2), get(3), get(4), get(5), get(6), get(7)
+		// Per-instruction stage order must be monotone.
+		if !(fetch <= disp && disp < issue && issue < done && done <= wb && wb <= retire) {
+			t.Errorf("non-monotone stages: %q", sc.Text())
+		}
+		// Retirement is in order.
+		if retire < lastRetire {
+			t.Errorf("retire went backwards: %q", sc.Text())
+		}
+		lastRetire = retire
+	}
+	if lines != 50 {
+		t.Errorf("trace emitted %d lines, want 50", lines)
+	}
+}
+
+func TestTraceUnlimited(t *testing.T) {
+	k, _ := workload.KernelByName("fig2")
+	var buf bytes.Buffer
+	m, err := New(k, OutOfOrderConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetTrace(&buf, 0) // unlimited
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLines := strings.Count(buf.String(), "\n") - 1 // minus header
+	if uint64(gotLines) != st.Retired {
+		t.Errorf("trace lines %d != retired %d", gotLines, st.Retired)
+	}
+}
+
+func TestClusteringCostsPerformance(t *testing.T) {
+	prof, _ := workload.ProfileByName("vortex")
+	p, err := workload.Generate(prof, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := braid.Compile(p, braid.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Simulate(res.Prog, BraidConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered := BraidConfig(8)
+	clustered.Clusters = 4
+	clustered.InterClusterDelay = 8
+	sc, err := Simulate(res.Prog, clustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flat %.3f, 4 clusters +8 cycles %.3f", flat.IPC(), sc.IPC())
+	if sc.IPC() > flat.IPC() {
+		t.Errorf("clustering with an 8-cycle penalty improved IPC: %.3f > %.3f", sc.IPC(), flat.IPC())
+	}
+	if sc.IPC() < 0.5*flat.IPC() {
+		t.Errorf("clustering collapsed performance (%.3f vs %.3f); braids should tolerate it", sc.IPC(), flat.IPC())
+	}
+	if sc.Retired != flat.Retired {
+		t.Errorf("clustering changed the retired count")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	cfg := BraidConfig(8)
+	cfg.Clusters = 3 // 8 BEUs don't divide into 3
+	if err := cfg.Validate(); err == nil {
+		t.Error("uneven clustering accepted")
+	}
+	cfg.Clusters = 2
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("even clustering rejected: %v", err)
+	}
+}
+
+func TestDeadValueReleaseShrinksOccupancy(t *testing.T) {
+	prof, _ := workload.ProfileByName("swim")
+	p, err := workload.Generate(prof, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := braid.Compile(p, braid.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := BraidConfig(8)
+	without := BraidConfig(8)
+	without.DeadValueRelease = false
+	sw, err := Simulate(res.Prog, with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := Simulate(res.Prog, without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("with release: IPC %.3f, stalls %d; without: IPC %.3f, stalls %d",
+		sw.IPC(), sw.RFEntryStalls, so.IPC(), so.RFEntryStalls)
+	if so.RFEntryStalls <= sw.RFEntryStalls {
+		t.Errorf("disabling dead-value release did not increase RF stalls (%d vs %d)",
+			so.RFEntryStalls, sw.RFEntryStalls)
+	}
+	if sw.IPC() < so.IPC() {
+		t.Errorf("dead-value release hurt IPC: %.3f < %.3f", sw.IPC(), so.IPC())
+	}
+}

@@ -1,0 +1,298 @@
+package uarch
+
+import (
+	"testing"
+
+	"braid/internal/asm"
+	"braid/internal/braid"
+	"braid/internal/interp"
+	"braid/internal/isa"
+	"braid/internal/workload"
+)
+
+// simulate runs p and checks the retired instruction count against the
+// architectural interpreter.
+func simulate(t *testing.T, p *isa.Program, cfg Config) *Stats {
+	t.Helper()
+	cfg.Paranoid = true
+	st, err := Simulate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := interp.RunProgram(p, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != fs.Steps {
+		t.Fatalf("%s retired %d instructions, interpreter executed %d", cfg.Core, st.Retired, fs.Steps)
+	}
+	if st.Cycles == 0 {
+		t.Fatal("zero cycles")
+	}
+	return st
+}
+
+func genWorkload(t *testing.T, name string, iters int) (orig, braided *isa.Program) {
+	t.Helper()
+	prof, ok := workload.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %s", name)
+	}
+	p, err := workload.Generate(prof, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := braid.Compile(p, braid.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res.Prog
+}
+
+func TestAllCoresRunKernels(t *testing.T) {
+	for _, k := range workload.Kernels() {
+		k := k
+		res, err := braid.Compile(k, braid.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases := []struct {
+			name string
+			p    *isa.Program
+			cfg  Config
+		}{
+			{"inorder", k, InOrderConfig(8)},
+			{"depsteer", k, DepSteerConfig(8)},
+			{"ooo", k, OutOfOrderConfig(8)},
+			{"braid", res.Prog, BraidConfig(8)},
+		}
+		for _, c := range cases {
+			c := c
+			t.Run(k.Name+"/"+c.name, func(t *testing.T) {
+				st := simulate(t, c.p, c.cfg)
+				if ipc := st.IPC(); ipc <= 0 || ipc > float64(c.cfg.IssueWidth) {
+					t.Errorf("IPC %.3f out of range", ipc)
+				}
+			})
+		}
+	}
+}
+
+func TestParadigmOrdering(t *testing.T) {
+	// On a generated benchmark, the canonical ordering must hold:
+	// in-order <= dep-steer <= out-of-order, and braid close to OoO.
+	orig, braided := genWorkload(t, "gcc", 300)
+
+	io := simulate(t, orig, InOrderConfig(8))
+	ds := simulate(t, orig, DepSteerConfig(8))
+	oo := simulate(t, orig, OutOfOrderConfig(8))
+	br := simulate(t, braided, BraidConfig(8))
+
+	t.Logf("IPC: inorder=%.3f depsteer=%.3f braid=%.3f ooo=%.3f",
+		io.IPC(), ds.IPC(), br.IPC(), oo.IPC())
+	if io.IPC() > ds.IPC()*1.05 {
+		t.Errorf("in-order (%.3f) beats dep-steer (%.3f)", io.IPC(), ds.IPC())
+	}
+	if ds.IPC() > oo.IPC()*1.05 {
+		t.Errorf("dep-steer (%.3f) beats out-of-order (%.3f)", ds.IPC(), oo.IPC())
+	}
+	if br.IPC() < io.IPC() {
+		t.Errorf("braid (%.3f) below in-order (%.3f)", br.IPC(), io.IPC())
+	}
+	if br.IPC() < 0.5*oo.IPC() {
+		t.Errorf("braid (%.3f) far below out-of-order (%.3f)", br.IPC(), oo.IPC())
+	}
+}
+
+func TestWiderIsFaster(t *testing.T) {
+	orig, _ := genWorkload(t, "crafty", 300)
+	cfg4, cfg8, cfg16 := OutOfOrderConfig(4), OutOfOrderConfig(8), OutOfOrderConfig(16)
+	cfg4.PerfectBP, cfg8.PerfectBP, cfg16.PerfectBP = true, true, true
+	cfg4.Mem.Perfect, cfg8.Mem.Perfect, cfg16.Mem.Perfect = true, true, true
+	s4 := simulate(t, orig, cfg4)
+	s8 := simulate(t, orig, cfg8)
+	s16 := simulate(t, orig, cfg16)
+	t.Logf("perfect-frontend IPC: 4w=%.3f 8w=%.3f 16w=%.3f", s4.IPC(), s8.IPC(), s16.IPC())
+	if s8.IPC() < s4.IPC() {
+		t.Errorf("8-wide (%.3f) slower than 4-wide (%.3f)", s8.IPC(), s4.IPC())
+	}
+	if s16.IPC() < s8.IPC() {
+		t.Errorf("16-wide (%.3f) slower than 8-wide (%.3f)", s16.IPC(), s8.IPC())
+	}
+}
+
+func TestPerfectBPHelps(t *testing.T) {
+	orig, _ := genWorkload(t, "mcf", 300) // hard branches
+	base := OutOfOrderConfig(8)
+	perfect := base
+	perfect.PerfectBP = true
+	sb := simulate(t, orig, base)
+	sp := simulate(t, orig, perfect)
+	if sp.IPC() < sb.IPC() {
+		t.Errorf("perfect branch prediction hurt: %.3f < %.3f", sp.IPC(), sb.IPC())
+	}
+	if sb.Mispredicts == 0 {
+		t.Error("mcf workload produced no mispredictions")
+	}
+	if sp.Mispredicts != 0 {
+		t.Error("perfect predictor mispredicted")
+	}
+}
+
+func TestPerfectCachesHelp(t *testing.T) {
+	orig, _ := genWorkload(t, "mcf", 200) // cache-hostile
+	base := OutOfOrderConfig(8)
+	perfect := base
+	perfect.Mem.Perfect = true
+	sb := simulate(t, orig, base)
+	sp := simulate(t, orig, perfect)
+	if sp.IPC() <= sb.IPC() {
+		t.Errorf("perfect caches did not help mcf: %.3f vs %.3f", sp.IPC(), sb.IPC())
+	}
+}
+
+func TestSmallRFHurts(t *testing.T) {
+	orig, _ := genWorkload(t, "crafty", 300)
+	big := OutOfOrderConfig(8)
+	small := big
+	small.RFEntries = 8
+	sb := simulate(t, orig, big)
+	ss := simulate(t, orig, small)
+	t.Logf("RF 256: %.3f, RF 8: %.3f", sb.IPC(), ss.IPC())
+	if ss.IPC() > sb.IPC()*1.01 {
+		t.Errorf("8-entry RF (%.3f) outperformed 256-entry (%.3f)", ss.IPC(), sb.IPC())
+	}
+	if ss.RFEntryStalls == 0 {
+		t.Error("8-entry RF reported no entry stalls")
+	}
+}
+
+func TestBraidSmallExternalRFSuffices(t *testing.T) {
+	// The paper's headline: the braid machine with an 8-entry external RF
+	// performs like one with 256 entries (Figure 6).
+	_, braided := genWorkload(t, "gcc", 300)
+	big := BraidConfig(8)
+	big.RFEntries = 256
+	small := BraidConfig(8) // 8 entries
+	sb := simulate(t, braided, big)
+	ss := simulate(t, braided, small)
+	t.Logf("braid ext RF 256: %.3f, 8: %.3f", sb.IPC(), ss.IPC())
+	if ss.IPC() < 0.93*sb.IPC() {
+		t.Errorf("8-entry external RF (%.3f) much worse than 256 (%.3f)", ss.IPC(), sb.IPC())
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	// A dependent store->load pair to the same address must forward, so
+	// total cycles stay far below a D-cache round trip per iteration.
+	src := `
+.name fwd
+.data 64
+	ldimm r1, #65536
+	ldimm r6, #50
+loop:
+	stq   r6, 0(r1)
+	ldq   r2, 0(r1)
+	add   r3, r2, #1
+	sub   r6, r6, #1
+	bgt   r6, loop
+	halt
+`
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := simulate(t, p, OutOfOrderConfig(8))
+	perIter := float64(st.Cycles) / 50
+	if perIter > 20 {
+		t.Errorf("%.1f cycles per store-load iteration; forwarding broken?", perIter)
+	}
+}
+
+func TestMispredictionPenaltyShape(t *testing.T) {
+	// A tight loop with an unpredictable branch must cost roughly the
+	// misprediction penalty on mispredicted iterations.
+	orig, _ := genWorkload(t, "gcc", 200)
+	fast := OutOfOrderConfig(8)
+	slow := OutOfOrderConfig(8)
+	slow.MispredictMin = 46
+	sf := simulate(t, orig, fast)
+	ss := simulate(t, orig, slow)
+	if ss.Cycles <= sf.Cycles {
+		t.Errorf("doubling the misprediction penalty did not add cycles (%d vs %d)", ss.Cycles, sf.Cycles)
+	}
+}
+
+func TestBraidShorterPipelineHelps(t *testing.T) {
+	_, braided := genWorkload(t, "gcc", 300)
+	short := BraidConfig(8) // 19-cycle penalty
+	long := BraidConfig(8)
+	long.MispredictMin = 23
+	long.FrontDepth = 12
+	ssh := simulate(t, braided, short)
+	sl := simulate(t, braided, long)
+	if ssh.IPC() < sl.IPC() {
+		t.Errorf("shorter pipeline slower: %.3f vs %.3f", ssh.IPC(), sl.IPC())
+	}
+}
+
+func TestMoreBEUsHelp(t *testing.T) {
+	_, braided := genWorkload(t, "vortex", 300)
+	one := BraidConfig(8)
+	one.BEUs = 1
+	one.TotalFUs = 2
+	eight := BraidConfig(8)
+	s1 := simulate(t, braided, one)
+	s8 := simulate(t, braided, eight)
+	t.Logf("braid IPC: 1 BEU %.3f, 8 BEUs %.3f", s1.IPC(), s8.IPC())
+	if s8.IPC() <= s1.IPC() {
+		t.Errorf("8 BEUs (%.3f) not faster than 1 (%.3f)", s8.IPC(), s1.IPC())
+	}
+}
+
+func TestTinyFIFOStallsLongBraids(t *testing.T) {
+	_, braided := genWorkload(t, "mgrid", 100) // big braids
+	big := BraidConfig(8)
+	small := BraidConfig(8)
+	small.BEUFIFO = 4
+	sb := simulate(t, braided, big)
+	ss := simulate(t, braided, small)
+	t.Logf("braid FIFO 32: %.3f, FIFO 4: %.3f", sb.IPC(), ss.IPC())
+	if ss.IPC() >= sb.IPC() {
+		t.Errorf("4-entry FIFO (%.3f) not slower than 32 (%.3f)", ss.IPC(), sb.IPC())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := OutOfOrderConfig(8)
+	bad.RFEntries = 0
+	if _, err := Simulate(&isa.Program{Instrs: []isa.Instruction{{Op: isa.OpHALT}}}, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+	bad2 := OutOfOrderConfig(8)
+	bad2.MispredictMin = 2
+	if err := bad2.Validate(); err == nil {
+		t.Error("penalty below front depth accepted")
+	}
+}
+
+func TestBraidedProgramsOnAllProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, prof := range workload.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			p, err := workload.Generate(prof, 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := braid.Compile(p, braid.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			simulate(t, res.Prog, BraidConfig(8))
+			simulate(t, p, OutOfOrderConfig(8))
+		})
+	}
+}

@@ -1,0 +1,789 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"braid/internal/isa"
+)
+
+// Register conventions for generated programs. The braid compiler renames
+// nothing globally, so the generator keeps the roles disjoint: pool
+// registers written by a block are never read inside that same block, which
+// means braid formation needs no ordering splits and the emitted braid
+// geometry is exactly what the generator intended.
+const (
+	regChaseBase = isa.Reg(0) // region 0: pointer-chase window (alias class 1)
+	regLoadBase1 = isa.Reg(1) // region 1 (alias class 2)
+	regLoadBase2 = isa.Reg(2) // region 2 (alias class 3)
+	regStoreBase = isa.Reg(3) // region 3 (alias class 4)
+	regSpan      = isa.Reg(4) // region span in bytes
+	regLCG       = isa.Reg(5) // per-iteration pseudo-random state
+	regCounter   = isa.Reg(6) // loop countdown
+	regChk       = isa.Reg(7) // integer checksum accumulator
+	poolFirst    = isa.Reg(8)
+	// poolCount mirrors the effect of the paper's two-pass register
+	// allocation: external values live in a small rotating set of
+	// architectural registers, so each one is overwritten soon after its
+	// last use and the compiler's dead-value information frees its
+	// physical entry quickly (that is what makes Figure 6's 8-entry
+	// external file viable).
+	poolCount = 10          // r8..r17 (and f8..f17 for FP profiles)
+	condFirst = isa.Reg(22) // r22..r25: skip-branch conditions
+	condCount = 4
+	// Drifting hot-window bases give loads and stores the locality real
+	// programs have: most accesses land in a small window that moves
+	// slowly across the region, so L1 captures the common case and the
+	// drift generates a realistic trickle of L2 and memory misses.
+	regHotL1      = isa.Reg(18) // region 1 base + drift
+	regHotL2      = isa.Reg(19) // region 2 base + drift
+	regHotSt      = isa.Reg(20) // store region base + drift
+	regDrift      = isa.Reg(21) // drift offset, one line per iteration
+	hotMask       = 16*1024 - 8 // 16 KiB hot window
+	regChasePtr   = isa.Reg(26) // current pointer-chase cursor
+	regMask       = isa.Reg(27) // address mask: span-8
+	regTmp0       = isa.Reg(28) // braid-local temporaries
+	regTmp1       = isa.Reg(29)
+	regTmp2       = isa.Reg(30)
+	fpChk         = isa.RegF0 + 7 // floating-point checksum
+	fpPoolFirst   = isa.RegF0 + 8
+	fpTmp0        = isa.RegF0 + 28
+	fpTmp1        = isa.RegF0 + 29
+	chaseInitKB   = 256 // initialized pointer window (bounds Program.Data)
+	regionClasses = 4   // alias classes 1..4 for the four regions
+)
+
+// Generate builds the deterministic synthetic program for prof, sized to run
+// iterations trips of its main loop.
+func Generate(prof Profile, iterations int) (*isa.Program, error) {
+	if iterations < 1 {
+		return nil, fmt.Errorf("workload: iterations must be positive")
+	}
+	if iterations > isa.ImmMax {
+		return nil, fmt.Errorf("workload: iterations %d exceed the ldimm range", iterations)
+	}
+	if prof.Blocks < 2 {
+		return nil, fmt.Errorf("workload %s: need at least 2 body blocks", prof.Name)
+	}
+	if prof.DataKB == 0 || prof.DataKB&(prof.DataKB-1) != 0 {
+		return nil, fmt.Errorf("workload %s: DataKB must be a power of two", prof.Name)
+	}
+	g := &gen{
+		prof: prof,
+		rng:  rand.New(rand.NewSource(prof.Seed)),
+		p:    &isa.Program{Name: prof.Name, FP: prof.FP},
+	}
+	g.build(iterations)
+	if err := g.p.Validate(); err != nil {
+		return nil, fmt.Errorf("workload %s: generated invalid program: %w", prof.Name, err)
+	}
+	return g.p, nil
+}
+
+type gen struct {
+	prof Profile
+	rng  *rand.Rand
+	p    *isa.Program
+
+	labels map[string]int
+	fixups []fixup
+
+	// Fractional accumulators so per-block integer counts average out to
+	// the profile's targets.
+	accSingles, accBody, accSize, accWidth, accExtIn float64
+
+	poolPtr    int     // rotating pool write pointer
+	recentPool isa.Reg // most recently published pool register
+
+	// per-block state
+	blockWrites map[isa.Reg]bool
+	blockReads  map[isa.Reg]bool
+	extUsed     map[isa.Reg]bool
+	extOrder    []isa.Reg
+	extBudget   int
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+func (g *gen) emit(in isa.Instruction) int {
+	in.Canonicalize()
+	g.p.Instrs = append(g.p.Instrs, in)
+	return len(g.p.Instrs) - 1
+}
+
+func (g *gen) label(name string) {
+	if g.labels == nil {
+		g.labels = map[string]int{}
+	}
+	g.labels[name] = len(g.p.Instrs)
+}
+
+func (g *gen) branch(op isa.Opcode, src isa.Reg, label string) {
+	idx := g.emit(isa.Instruction{Op: op, Src1: src})
+	g.fixups = append(g.fixups, fixup{idx, label})
+}
+
+func (g *gen) resolve() {
+	for _, f := range g.fixups {
+		target, ok := g.labels[f.label]
+		if !ok {
+			panic("workload: unresolved label " + f.label)
+		}
+		g.p.Instrs[f.instr].SetBranchTarget(f.instr, target)
+	}
+	g.p.Labels = g.labels
+}
+
+func ldimm(dest isa.Reg, v int32) isa.Instruction {
+	return isa.Instruction{Op: isa.OpLDIMM, Dest: dest, Imm: v, HasImm: true}
+}
+
+func opRRR(op isa.Opcode, d, a, b isa.Reg) isa.Instruction {
+	return isa.Instruction{Op: op, Dest: d, Src1: a, Src2: b}
+}
+
+func opRRI(op isa.Opcode, d, a isa.Reg, imm int32) isa.Instruction {
+	return isa.Instruction{Op: op, Dest: d, Src1: a, Imm: imm, HasImm: true}
+}
+
+// build assembles init, body blocks, the loop tail, and the exit block.
+func (g *gen) build(iterations int) {
+	g.buildData()
+	g.buildInit(iterations)
+	for b := 0; b < g.prof.Blocks-1; b++ {
+		g.label(fmt.Sprintf("L%d", b))
+		g.buildBody(b)
+	}
+	g.label(fmt.Sprintf("L%d", g.prof.Blocks-1))
+	g.buildCloser()
+	g.label("exit")
+	g.buildExit()
+	g.resolve()
+}
+
+// buildData fills the pointer-chase window (region 0) with valid pointers
+// back into itself, so `ldq rp, 0(rp)` walks a random cycle forever.
+func (g *gen) buildData() {
+	initKB := g.prof.DataKB
+	if initKB > chaseInitKB {
+		initKB = chaseInitKB
+	}
+	words := initKB * 1024 / 8
+	data := make([]byte, words*8)
+	for w := 0; w < words; w++ {
+		var v uint64
+		if g.prof.PointerChase {
+			off := uint64(g.rng.Intn(words)) * 8
+			v = uint64(isa.DataBase) + off
+		} else {
+			v = g.rng.Uint64()
+		}
+		for i := 0; i < 8; i++ {
+			data[w*8+i] = byte(v >> (8 * uint(i)))
+		}
+	}
+	g.p.Data = data
+}
+
+func (g *gen) buildInit(iterations int) {
+	span := int32(g.prof.DataKB) * 1024
+	g.emit(ldimm(regChaseBase, isa.DataBase))
+	g.emit(ldimm(regSpan, int32(g.prof.DataKB)))
+	g.emit(opRRI(isa.OpSLL, regSpan, regSpan, 10))
+	g.emit(opRRR(isa.OpADD, regLoadBase1, regChaseBase, regSpan))
+	g.emit(opRRR(isa.OpADD, regLoadBase2, regLoadBase1, regSpan))
+	g.emit(opRRR(isa.OpADD, regStoreBase, regLoadBase2, regSpan))
+	g.emit(opRRI(isa.OpSUB, regMask, regSpan, 8))
+	_ = span
+	g.emit(ldimm(regCounter, int32(iterations)))
+	g.emit(ldimm(regLCG, int32(g.rng.Intn(1<<18))|1))
+	g.emit(ldimm(regChk, 0))
+	g.emit(opRRI(isa.OpADD, regChasePtr, regChaseBase, 0))
+	for i := 0; i < poolCount; i++ {
+		g.emit(ldimm(poolFirst+isa.Reg(i), int32(g.rng.Intn(1<<16))))
+	}
+	if g.prof.FP {
+		for i := 0; i < poolCount; i++ {
+			g.emit(isa.Instruction{Op: isa.OpCVTIF, Dest: fpPoolFirst + isa.Reg(i), Src1: poolFirst + isa.Reg(i)})
+		}
+		g.emit(isa.Instruction{Op: isa.OpCVTIF, Dest: fpChk, Src1: regChk})
+	}
+	g.emit(ldimm(regDrift, 0))
+	g.emit(opRRI(isa.OpADD, regHotL1, regLoadBase1, 0))
+	g.emit(opRRI(isa.OpADD, regHotL2, regLoadBase2, 0))
+	g.emit(opRRI(isa.OpADD, regHotSt, regStoreBase, 0))
+	for i := 0; i < condCount; i++ {
+		g.emit(ldimm(condFirst+isa.Reg(i), 0))
+	}
+	g.branch(isa.OpBR, isa.RegNone, "L0")
+}
+
+// take draws a target count from a fractional accumulator.
+func take(acc *float64, target float64) int {
+	*acc += target
+	n := int(*acc)
+	*acc -= float64(n)
+	return n
+}
+
+// blockBudget works out this block's braid composition from the profile.
+type blockBudget struct {
+	singles int // single-instruction braids, excluding the block terminator
+	body    int // non-single braids (the first one computes a skip condition)
+	extIn   int // external-input budget per body braid
+}
+
+// braidSizeTargets converts the profile's include-singles averages into
+// non-single braid targets: MeanSize = SinglesShare*1 + (1-SinglesShare)*x.
+func (g *gen) braidSizeTargets() (size, width, extIn float64) {
+	pr := &g.prof
+	ns := 1 - pr.SinglesShare
+	size = (pr.MeanSize - pr.SinglesShare) / ns
+	if size < 2 {
+		size = 2
+	}
+	if size > 28 {
+		size = 28
+	}
+	width = (pr.MeanWidth - pr.SinglesShare) / ns
+	if width < 1 {
+		width = 1
+	}
+	if width > 2.5 {
+		width = 2.5
+	}
+	extIn = (pr.ExtInputs - pr.SinglesShare) / ns
+	if extIn < 1 {
+		extIn = 1
+	}
+	if extIn > 10 {
+		extIn = 10
+	}
+	return size, width, extIn
+}
+
+func (g *gen) planBlock() blockBudget {
+	pr := &g.prof
+	singlesTarget := pr.BraidsPerBlock * pr.SinglesShare // includes terminator
+	bodyTarget := pr.BraidsPerBlock - singlesTarget
+	_, _, extIn := g.braidSizeTargets()
+
+	var b blockBudget
+	b.singles = take(&g.accSingles, singlesTarget-1)
+	if b.singles < 0 {
+		b.singles = 0
+	}
+	b.body = take(&g.accBody, bodyTarget)
+	if b.body < 0 {
+		b.body = 0
+	}
+	b.extIn = take(&g.accExtIn, extIn)
+	if b.extIn < 1 {
+		b.extIn = 1
+	}
+	return b
+}
+
+// nextBraidSize draws the next non-single braid's size and chain length from
+// the profile's targets, keeping the long-run averages exact.
+func (g *gen) nextBraidSize() (size, crit int) {
+	sz, width, _ := g.braidSizeTargets()
+	size = take(&g.accSize, sz)
+	if size < 2 {
+		size = 2
+	}
+	crit = int(float64(size)/width + 0.5)
+	if crit < 1 {
+		crit = 1
+	}
+	if crit > size {
+		crit = size
+	}
+	// A chain of c steps can absorb at most c+1 side instructions
+	// (two operands on the first step, one on each later step).
+	if size-crit > crit+1 {
+		crit = (size - 1) / 2
+		if crit < 1 {
+			crit = 1
+		}
+	}
+	return size, crit
+}
+
+// buildBody emits one loop-body block (blocks 0..B-2; the final block is
+// the closer). Its first non-single braid computes the skip condition for
+// the next block; the terminator consumes the condition this block's
+// predecessor computed.
+func (g *gen) buildBody(b int) {
+	budget := g.planBlock()
+	g.blockWrites = map[isa.Reg]bool{}
+	g.blockReads = map[isa.Reg]bool{}
+
+	// Pointer-chase braid (single serial load) for chasing profiles.
+	if g.prof.PointerChase && b%2 == 0 {
+		g.emit(isa.Instruction{Op: isa.OpLDQ, Dest: regChasePtr, Src1: regChasePtr, AliasClass: 1})
+	}
+
+	// Refresh the next block's skip condition from every other block;
+	// the remaining body budget goes to compute braids. Blocks that skip
+	// the refresh leave a stale condition behind, which simply makes the
+	// corresponding branch strongly biased — like most compiled branches.
+	wantCond := b%2 == 0
+	for i := 0; i < budget.body; i++ {
+		if i == 0 && wantCond {
+			nextCond := condFirst + isa.Reg((b+1)%condCount)
+			g.blockWrites[nextCond] = true
+			g.emitCondBraid(b+1, nextCond)
+			continue
+		}
+		isStore := g.rng.Float64() < g.prof.StoreBraidFrac
+		g.emitBodyBraid(budget, isStore)
+	}
+
+	for i := 0; i < budget.singles; i++ {
+		g.emitSingle(b, i)
+	}
+
+	// Terminator: skip over the next block. The second-to-last block
+	// falls through into the closer.
+	cond := condFirst + isa.Reg(b%condCount)
+	if b < g.prof.Blocks-2 {
+		target := b + 2
+		if target > g.prof.Blocks-1 {
+			target = g.prof.Blocks - 1
+		}
+		g.branch(isa.OpBNE, cond, fmt.Sprintf("L%d", target))
+	}
+}
+
+// buildCloser emits the last body block: the skip condition for block 0, the
+// LCG update, checksum absorption, and the counter-decrement back edge.
+func (g *gen) buildCloser() {
+	g.blockWrites = map[isa.Reg]bool{}
+	g.blockReads = map[isa.Reg]bool{}
+	g.blockWrites[condFirst] = true
+	g.emitCondBraid(0, condFirst)
+
+	// Absorb two pool values into the checksum.
+	a := poolFirst + isa.Reg(g.rng.Intn(poolCount))
+	b := poolFirst + isa.Reg(g.rng.Intn(poolCount))
+	g.blockReads[a], g.blockReads[b] = true, true
+	g.emit(opRRR(isa.OpXOR, regTmp0, a, b))
+	g.emit(opRRR(isa.OpXOR, regChk, regChk, regTmp0))
+	if g.prof.FP {
+		fa := fpPoolFirst + isa.Reg(g.rng.Intn(poolCount))
+		g.blockReads[fa] = true
+		g.emit(opRRR(isa.OpFADD, fpChk, fpChk, fa))
+	}
+
+	// Pseudo-random update (reads happen above, in the condition braid).
+	// A xorshift-add step keeps the loop-carried recurrence short (three
+	// ALU levels) so it does not artificially cap the workload's ILP.
+	g.emit(opRRI(isa.OpSRL, regTmp1, regLCG, 9))
+	g.emit(opRRR(isa.OpXOR, regLCG, regLCG, regTmp1))
+	g.emit(opRRI(isa.OpLDA, regLCG, regLCG, 12345))
+
+	// Advance the hot-window drift by one cache line per iteration and
+	// refresh the per-region hot bases.
+	g.emit(opRRI(isa.OpLDA, regDrift, regDrift, 64))
+	g.emit(opRRR(isa.OpAND, regDrift, regDrift, regMask))
+	g.emit(opRRR(isa.OpADD, regHotL1, regLoadBase1, regDrift))
+	g.emit(opRRR(isa.OpADD, regHotL2, regLoadBase2, regDrift))
+	g.emit(opRRR(isa.OpADD, regHotSt, regStoreBase, regDrift))
+
+	// Counter decrement and back edge.
+	g.emit(opRRI(isa.OpSUB, regCounter, regCounter, 1))
+	g.branch(isa.OpBGT, regCounter, "L0")
+}
+
+// emitCondBraid computes the skip condition consumed by block b's
+// terminator: either a hard-to-predict LCG bit or an easy counter pattern.
+func (g *gen) emitCondBraid(b int, dest isa.Reg) {
+	size, _ := g.nextBraidSize()
+	// Condition braids stay small (a shift, optional pad, and the mask);
+	// the unused budget flows back to the ordinary body braids.
+	if size > 3 {
+		g.accSize += float64(size - 3)
+		size = 3
+	}
+	hard := g.rng.Float64() < g.prof.HardBranchFrac
+	src := regCounter
+	if hard {
+		src = regLCG
+	}
+	shift := int32((b*3)%16 + 1)
+	g.emit(opRRI(isa.OpSRL, regTmp0, src, shift))
+	// Pad the braid to its planned size with a deterministic chain; the
+	// extra operations keep easy conditions a pure function of the
+	// counter so the perceptron can learn them.
+	for k := 0; k < size-2; k++ {
+		g.emit(opRRI(isa.OpXOR, regTmp0, regTmp0, int32(11+7*k)))
+	}
+	if hard {
+		// Data-dependent direction with the profile's taken rate.
+		if g.prof.SkipProb < 0.5 {
+			g.emit(opRRI(isa.OpAND, regTmp0, regTmp0, 3))
+			g.emit(opRRI(isa.OpCMPEQ, dest, regTmp0, 0))
+		} else {
+			g.emit(opRRI(isa.OpAND, dest, regTmp0, 1))
+		}
+		return
+	}
+	// Easy branches mirror the strong bias of typical compiled code:
+	// taken on ~3% of iterations, in a counter-periodic pattern.
+	g.emit(opRRI(isa.OpAND, regTmp0, regTmp0, 31))
+	g.emit(opRRI(isa.OpCMPEQ, dest, regTmp0, 0))
+}
+
+// readableExt returns an external input register for the current block:
+// pool registers not written by this block, bases, the counter, or the LCG.
+func (g *gen) readableExt(fp bool) isa.Reg {
+	r := g.pickExt(fp)
+	if g.blockReads != nil {
+		g.blockReads[r] = true
+	}
+	return r
+}
+
+func (g *gen) pickExt(fp bool) isa.Reg {
+	if fp {
+		for tries := 0; tries < 8; tries++ {
+			r := fpPoolFirst + isa.Reg(g.rng.Intn(poolCount))
+			if !g.blockWrites[r] {
+				return r
+			}
+		}
+		return fpChk
+	}
+	roll := g.rng.Intn(10)
+	switch {
+	case roll < 2:
+		// Freshly produced value: a short cross-braid dependence, the
+		// way real code consumes the result it just computed. This
+		// keeps the workload's ILP finite at very wide issue.
+		if g.recentPool != 0 && !g.blockWrites[g.recentPool] {
+			return g.recentPool
+		}
+		fallthrough
+	case roll < 6:
+		for tries := 0; tries < 8; tries++ {
+			r := poolFirst + isa.Reg(g.rng.Intn(poolCount))
+			if !g.blockWrites[r] {
+				return r
+			}
+		}
+		return regCounter
+	case roll < 8:
+		return regCounter
+	case roll < 9:
+		return regLCG
+	default:
+		return regLoadBase1 + isa.Reg(g.rng.Intn(2))
+	}
+}
+
+// extInput returns a source register, preferring fresh external inputs while
+// the braid's budget lasts, then reusing already-drawn ones.
+func (g *gen) extInput(fp bool) isa.Reg {
+	if len(g.extOrder) < g.extBudget {
+		r := g.readableExt(fp)
+		if !g.extUsed[r] {
+			g.extUsed[r] = true
+			g.extOrder = append(g.extOrder, r)
+		}
+		return r
+	}
+	// Reuse one of the inputs already drawn (deterministic order).
+	start := g.rng.Intn(len(g.extOrder))
+	for i := 0; i < len(g.extOrder); i++ {
+		r := g.extOrder[(start+i)%len(g.extOrder)]
+		if r.IsFP() == fp {
+			return r
+		}
+	}
+	r := g.readableExt(fp)
+	if !g.extUsed[r] {
+		g.extUsed[r] = true
+		g.extOrder = append(g.extOrder, r)
+	}
+	return r
+}
+
+// allocPoolWrite picks the next pool register this braid will publish to.
+func (g *gen) allocPoolWrite(fp bool) isa.Reg {
+	for tries := 0; tries < poolCount; tries++ {
+		idx := g.poolPtr % poolCount
+		g.poolPtr++
+		r := poolFirst + isa.Reg(idx)
+		if fp {
+			r = fpPoolFirst + isa.Reg(idx)
+		}
+		// Never write a register some braid in this block read or
+		// wrote: that keeps blocks hazard-free by construction.
+		if !g.blockWrites[r] && !g.blockReads[r] {
+			g.blockWrites[r] = true
+			if !fp {
+				g.recentPool = r
+			}
+			return r
+		}
+	}
+	// Pool exhausted for this block (very large blocks only): fall back
+	// to the checksum register, which tolerates same-block rewrites
+	// because only the tail reads it.
+	if fp {
+		return fpChk
+	}
+	return regChk
+}
+
+func (g *gen) intOp() isa.Opcode {
+	ops := []isa.Opcode{isa.OpADD, isa.OpADD, isa.OpSUB, isa.OpXOR, isa.OpAND, isa.OpOR, isa.OpSLL, isa.OpSRL, isa.OpANDNOT, isa.OpCMPLT}
+	if g.rng.Float64() < 0.08 {
+		return isa.OpMUL
+	}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+func (g *gen) fpOp() isa.Opcode {
+	ops := []isa.Opcode{isa.OpFADD, isa.OpFMUL, isa.OpFSUB, isa.OpFADD, isa.OpFMUL}
+	if g.rng.Float64() < 0.05 {
+		return isa.OpFDIV
+	}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+// emitBodyBraid generates one dataflow braid of the planned size and width.
+// The braid is a serial chain of budget.bodyCrit steps; the remaining
+// instructions are side computations feeding chain steps. Loads appear as a
+// chain step whose address is computed by two side instructions; the root
+// value is either stored (store braid) or published to a pool register.
+func (g *gen) emitBodyBraid(budget blockBudget, isStore bool) {
+	fp := g.prof.FP
+	g.extUsed = map[isa.Reg]bool{}
+	g.extOrder = g.extOrder[:0]
+	g.extBudget = budget.extIn
+
+	size, crit := g.nextBraidSize()
+	// The root consumer (pool publish: 1 instruction; store with its
+	// address cluster: 3) is emitted outside the loop below, so it is
+	// paid for out of the size budget here.
+	if isStore {
+		size -= 3
+	} else {
+		size--
+	}
+	if size < 1 {
+		size = 1
+	}
+	if crit > size {
+		crit = size
+	}
+
+	cur := regTmp0
+	fpCur := fpTmp0
+	sidesLeft := size - crit
+	chainSteps := crit
+
+	var pendingSide isa.Reg = isa.RegNone
+	emitSide := func() {
+		if sidesLeft <= 0 {
+			return
+		}
+		sidesLeft--
+		if fp && g.rng.Float64() < 0.7 {
+			g.emit(opRRR(g.fpOp(), fpTmp1, g.extInput(true), g.extInput(true)))
+			pendingSide = fpTmp1
+			return
+		}
+		g.emit(opRRR(g.intOp(), regTmp1, g.extInput(false), g.extInput(false)))
+		pendingSide = regTmp1
+	}
+
+	// Loads use a three-instruction cluster: mask, add, load. The mask
+	// source is an external input (or the counter for strided streams).
+	emitLoad := func(dest isa.Reg, fpLoad bool) {
+		base := regLoadBase1
+		cls := uint8(2)
+		if g.rng.Intn(2) == 1 {
+			base, cls = regLoadBase2, 3
+		}
+		if g.prof.Stride > 8 && g.rng.Float64() < 0.6 {
+			// Streaming: walk the whole region, missing like real
+			// stream kernels do.
+			g.emit(opRRI(isa.OpMUL, regTmp2, regCounter, int32(g.prof.Stride)))
+			g.emit(opRRR(isa.OpAND, regTmp2, regTmp2, regMask))
+			g.emit(opRRR(isa.OpADD, regTmp2, regTmp2, base))
+		} else {
+			// Pointer-ish: land in the drifting hot window.
+			hot := regHotL1
+			if base == regLoadBase2 {
+				hot = regHotL2
+			}
+			g.emit(opRRI(isa.OpAND, regTmp2, g.extInput(false), hotMask))
+			g.emit(opRRR(isa.OpADD, regTmp2, regTmp2, hot))
+		}
+		op := isa.OpLDQ
+		if fpLoad {
+			op = isa.OpLDF
+		}
+		g.emit(isa.Instruction{Op: op, Dest: dest, Src1: regTmp2, Imm: 0, AliasClass: cls})
+	}
+
+	// payLoad charges a load cluster's two address instructions against
+	// side budget first, then against chain steps, so narrow braids can
+	// still contain loads (their address arithmetic is simply part of
+	// the serial chain, as in Figure 2).
+	payLoad := func(step int) int {
+		take := 2
+		if sidesLeft < take {
+			take = sidesLeft
+		}
+		sidesLeft -= take
+		return step + (2 - take)
+	}
+	for step := 0; step < chainSteps; step++ {
+		// Spend side instructions ahead of chain steps.
+		for sidesLeft > 0 && pendingSide == isa.RegNone && g.rng.Float64() < 0.8 {
+			emitSide()
+		}
+		avail := (chainSteps - step - 1) + sidesLeft
+		wantLoad := avail >= 2 && pendingSide == isa.RegNone &&
+			g.rng.Float64() < g.prof.LoadFrac && step > 0
+		switch {
+		case step == 0:
+			if g.rng.Float64() < g.prof.LoadFrac && avail >= 2 {
+				step = payLoad(step)
+				if fp {
+					emitLoad(fpCur, true)
+				} else {
+					emitLoad(cur, false)
+				}
+			} else if fp {
+				g.emit(opRRR(g.fpOp(), fpCur, g.extInput(true), g.extInput(true)))
+			} else {
+				g.emit(opRRR(g.intOp(), cur, g.extInput(false), g.extInput(false)))
+			}
+		case wantLoad:
+			step = payLoad(step)
+			if fp {
+				emitLoad(fpTmp1, true)
+				g.emit(opRRR(g.fpOp(), fpCur, fpCur, fpTmp1))
+			} else {
+				emitLoad(regTmp1, false)
+				g.emit(opRRR(g.intOp(), cur, cur, regTmp1))
+			}
+		default:
+			var operand isa.Reg
+			if pendingSide != isa.RegNone {
+				operand = pendingSide
+				pendingSide = isa.RegNone
+			} else if fp {
+				operand = g.extInput(true)
+			} else {
+				operand = g.extInput(false)
+			}
+			if fp && operand.IsFP() {
+				g.emit(opRRR(g.fpOp(), fpCur, fpCur, operand))
+			} else if fp {
+				// Mix an integer-derived value into the FP chain.
+				g.emit(isa.Instruction{Op: isa.OpCVTIF, Dest: fpTmp1, Src1: operand})
+				g.emit(opRRR(g.fpOp(), fpCur, fpCur, fpTmp1))
+				step++ // the cvt consumed a step's worth of work
+			} else {
+				g.emit(opRRR(g.intOp(), cur, cur, operand))
+			}
+		}
+	}
+	// Drain leftover sides into the chain.
+	for sidesLeft > 0 {
+		emitSide()
+		if pendingSide != isa.RegNone {
+			if pendingSide.IsFP() {
+				g.emit(opRRR(g.fpOp(), fpCur, fpCur, pendingSide))
+			} else if fp {
+				g.emit(isa.Instruction{Op: isa.OpCVTIF, Dest: fpTmp1, Src1: pendingSide})
+				g.emit(opRRR(g.fpOp(), fpCur, fpCur, fpTmp1))
+			} else {
+				g.emit(opRRR(g.intOp(), cur, cur, pendingSide))
+			}
+			pendingSide = isa.RegNone
+		}
+	}
+
+	root := cur
+	fpRoot := fpCur
+	if isStore {
+		// Store the root into the (alias class 4) store region's hot
+		// window.
+		g.emit(opRRI(isa.OpAND, regTmp2, g.extInput(false), hotMask))
+		g.emit(opRRR(isa.OpADD, regTmp2, regTmp2, regHotSt))
+		if fp {
+			g.emit(isa.Instruction{Op: isa.OpSTF, Src1: fpRoot, Src2: regTmp2, AliasClass: 4})
+		} else {
+			g.emit(isa.Instruction{Op: isa.OpSTQ, Src1: root, Src2: regTmp2, AliasClass: 4})
+		}
+		return
+	}
+	// Publish the root to the pool.
+	out := g.allocPoolWrite(fp)
+	if fp {
+		g.emit(opRRR(isa.OpFADD, out, fpRoot, fpRoot))
+	} else {
+		g.emit(opRRI(isa.OpADD, out, root, 0))
+	}
+}
+
+// emitSingle emits one single-instruction braid: a nop, a pool pointer bump,
+// or a store of a pool register.
+func (g *gen) emitSingle(b, i int) {
+	switch (b + i) % 4 {
+	case 0:
+		g.emit(isa.Instruction{Op: isa.OpNOP})
+	case 1, 2:
+		// Store single: pool value to a private slot in the store
+		// region (static displacement; no address computation).
+		src := g.readableExt(false)
+		disp := int32(((b*17 + i*7) % 512) * 8)
+		g.emit(isa.Instruction{Op: isa.OpSTQ, Src1: src, Src2: regStoreBase, Imm: disp, AliasClass: 4})
+	default:
+		// Pointer-bump single, lda-style: reads and writes one pool
+		// register nobody else touches in this block.
+		r := g.allocPoolWrite(false)
+		g.emit(opRRI(isa.OpLDA, r, r, 8))
+	}
+}
+
+// buildExit publishes the architectural results to memory and halts, so
+// original/braided equivalence is observable in the memory image.
+func (g *gen) buildExit() {
+	disp := int32(4096 * 8)
+	st := func(r isa.Reg, fp bool) {
+		op := isa.OpSTQ
+		if fp {
+			op = isa.OpSTF
+		}
+		g.emit(isa.Instruction{Op: op, Src1: r, Src2: regStoreBase, Imm: disp, AliasClass: 4})
+		disp += 8
+	}
+	st(regChk, false)
+	st(regCounter, false)
+	st(regLCG, false)
+	st(regChasePtr, false)
+	for i := 0; i < poolCount; i++ {
+		st(poolFirst+isa.Reg(i), false)
+	}
+	if g.prof.FP {
+		st(fpChk, true)
+		for i := 0; i < poolCount; i++ {
+			st(fpPoolFirst+isa.Reg(i), true)
+		}
+	}
+	for i := 0; i < condCount; i++ {
+		st(condFirst+isa.Reg(i), false)
+	}
+	g.emit(isa.Instruction{Op: isa.OpHALT})
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"fmt"
+
+	"braid/internal/asm"
+	"braid/internal/isa"
+)
+
+// Kernels returns small hand-written programs used by examples and tests:
+// the paper's Figure 2 block (gcc's life analysis), a dot product, a
+// linked-list walk, an 8×8 matrix multiply with nested loops, and a block
+// copy with a software-pipelined body. They complement the synthetic suite
+// with human-readable code.
+func Kernels() []*isa.Program {
+	var ps []*isa.Program
+	for _, src := range []string{kernelFig2, kernelDot, kernelList, kernelMatmul, kernelCopy} {
+		p, err := asm.Parse(src)
+		if err != nil {
+			panic(fmt.Sprintf("workload: bad builtin kernel: %v", err))
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// KernelByName returns the named kernel; ok is false if unknown.
+func KernelByName(name string) (*isa.Program, bool) {
+	for _, p := range Kernels() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// kernelFig2 transliterates the paper's Figure 2: the inner loop of gcc's
+// life-analysis function (regset_size words of three bitmaps combined).
+const kernelFig2 = `
+.name fig2
+.data 2048
+	ldimm r0, #65536       ; new_live_at_end
+	ldimm r1, #65792       ; live_at_end
+	ldimm r8, #66048       ; significant
+	ldimm r4, #0           ; t4: byte offset
+	ldimm r5, #0           ; t5: j
+	ldimm r9, #32          ; regset_size
+	ldimm r6, #0           ; consider
+	ldimm r14, #0          ; must_rescan
+	br    body
+body:
+	add    r10, r1, r4
+	add    r11, r0, r4
+	add    r12, r8, r4
+	ldl    r13, 0(r10)     !ac=1
+	add    r5, r5, #1
+	ldl    r10, 0(r11)     !ac=1
+	cmpeq  r7, r9, r5
+	ldl    r11, 0(r12)     !ac=1
+	lda    r4, 4(r4)
+	andnot r10, r13, r10
+	sextl  r10, r10
+	and    r11, r10, r11
+	zapnot r11, r11, #15
+	cmovne r6, r10, #1
+	bne    r11, found
+	beq    r7, body
+	br     done
+found:
+	ldimm  r14, #1
+	ldimm  r6, #1
+done:
+	stq    r6, 1024(r0)    !ac=2
+	stq    r14, 1032(r0)   !ac=2
+	stq    r5, 1040(r0)    !ac=2
+	halt
+`
+
+// kernelDot is a 64-element dot product: streaming loads, an FP multiply-add
+// chain, and a highly predictable loop.
+const kernelDot = `
+.name dot
+.fp
+.data 1024
+	ldimm r0, #65536
+	ldimm r1, #66048
+	ldimm r6, #64
+	ldimm r4, #0
+	ldimm r7, #0
+	cvtif f2, r7
+loop:
+	add  r10, r0, r4
+	add  r11, r1, r4
+	ldf  f0, 0(r10)   !ac=1
+	ldf  f1, 0(r11)   !ac=2
+	fmul f3, f0, f1
+	fadd f2, f2, f3
+	lda  r4, 8(r4)
+	sub  r6, r6, #1
+	bgt  r6, loop
+	stf  f2, 0(r1)    !ac=3
+	halt
+`
+
+// kernelList walks a 128-node linked list accumulating a field: the
+// pointer-chase pattern that dominates mcf.
+const kernelList = `
+.name list
+.data 2048
+	ldimm r0, #65536       ; node array base
+	ldimm r6, #128         ; steps
+	ldimm r7, #0           ; sum
+	add   r2, r0, #0       ; p = head
+	ldimm r3, #2040
+	and   r3, r3, #-8
+build:
+	; build the list in memory: node i -> node i+16 bytes, payload = i
+	ldimm r4, #0
+bloop:
+	add   r5, r0, r4       ; &node
+	add   r9, r4, #16
+	and   r9, r9, r3       ; wrap at 2040
+	add   r10, r0, r9
+	stq   r10, 0(r5)       !ac=1
+	stq   r4, 8(r5)        !ac=2
+	lda   r4, 16(r4)
+	cmplt r11, r4, r3
+	bne   r11, bloop
+walk:
+	ldq   r12, 8(r2)       !ac=2
+	add   r7, r7, r12
+	ldq   r2, 0(r2)        !ac=1
+	sub   r6, r6, #1
+	bgt   r6, walk
+	stq   r7, 2040(r0)     !ac=3
+	halt
+`
+
+// kernelMatmul multiplies two 8x8 matrices of integers: triply nested loops,
+// strided loads from two arrays, and a multiply-accumulate recurrence.
+const kernelMatmul = `
+.name matmul
+.data 2048
+	ldimm r0, #65536       ; A
+	ldimm r1, #66048       ; B
+	ldimm r2, #66560       ; C
+	; seed A and B with i*8+j values
+	ldimm r4, #0
+seed:
+	add   r5, r0, r4
+	add   r6, r1, r4
+	srl   r7, r4, #3
+	stq   r7, 0(r5)        !ac=1
+	xor   r8, r7, #5
+	stq   r8, 0(r6)        !ac=2
+	lda   r4, 8(r4)
+	cmplt r9, r4, #512
+	bne   r9, seed
+	; C[i][j] = sum_k A[i][k]*B[k][j]
+	ldimm r10, #0          ; i
+iloop:
+	ldimm r11, #0          ; j
+jloop:
+	ldimm r12, #0          ; k
+	ldimm r13, #0          ; acc
+kloop:
+	sll   r14, r10, #6     ; i*64
+	sll   r15, r12, #3     ; k*8
+	add   r16, r14, r15
+	add   r16, r16, r0
+	ldq   r17, 0(r16)      !ac=1   ; A[i][k]
+	sll   r18, r12, #6     ; k*64
+	sll   r19, r11, #3     ; j*8
+	add   r20, r18, r19
+	add   r20, r20, r1
+	ldq   r21, 0(r20)      !ac=2   ; B[k][j]
+	mul   r22, r17, r21
+	add   r13, r13, r22
+	add   r12, r12, #1
+	cmplt r23, r12, #8
+	bne   r23, kloop
+	sll   r24, r10, #6
+	sll   r25, r11, #3
+	add   r26, r24, r25
+	add   r26, r26, r2
+	stq   r13, 0(r26)      !ac=3   ; C[i][j]
+	add   r11, r11, #1
+	cmplt r23, r11, #8
+	bne   r23, jloop
+	add   r10, r10, #1
+	cmplt r23, r10, #8
+	bne   r23, iloop
+	halt
+`
+
+// kernelCopy copies 256 words with a two-braid body: an address braid and a
+// load/store braid, plus a checksum accumulator.
+const kernelCopy = `
+.name copy
+.data 4096
+	ldimm r0, #65536       ; src
+	ldimm r1, #69632       ; dst (65536+4096)
+	ldimm r6, #256
+	ldimm r4, #0
+	ldimm r7, #0
+loop:
+	add   r10, r0, r4
+	add   r11, r1, r4
+	ldq   r12, 0(r10)      !ac=1
+	stq   r12, 0(r11)      !ac=2
+	add   r7, r7, r12
+	lda   r4, 8(r4)
+	sub   r6, r6, #1
+	bgt   r6, loop
+	stq   r7, 2048(r1)     !ac=3
+	halt
+`

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math/rand"
+
+	"braid/internal/isa"
+)
+
+// RandomProgram generates a small, terminating, valid BRD64 program with
+// adversarial structure for compiler and simulator testing: heavy register
+// reuse (provoking the braid compiler's hazard splits), random alias
+// classes (provoking memory-order splits), conditional moves, and irregular
+// forward control flow inside a counted outer loop. The program ends by
+// storing every architectural register it used to memory, so functional
+// equivalence between the original and braided versions is fully observable
+// in the memory image.
+//
+// Unlike Generate, RandomProgram makes no attempt to match the paper's braid
+// statistics; it exists to explore the corners the curated workloads avoid.
+func RandomProgram(seed int64) *isa.Program {
+	r := rand.New(rand.NewSource(seed))
+	g := &gen{
+		prof: Profile{Name: "random"},
+		rng:  r,
+		p:    &isa.Program{Name: "random"},
+	}
+
+	const (
+		base    = isa.Reg(16) // data base pointer
+		counter = isa.Reg(17)
+		nRegs   = 14 // r0..r13: working registers, reused heavily
+	)
+	blocks := 2 + r.Intn(5)
+	iters := 3 + r.Intn(6)
+
+	// Init: base pointer, counter, and seed values for the working set.
+	g.emit(ldimm(base, isa.DataBase))
+	g.emit(ldimm(counter, int32(iters)))
+	for i := 0; i < nRegs; i++ {
+		g.emit(ldimm(isa.Reg(i), int32(r.Intn(1<<12))))
+	}
+	g.branch(isa.OpBR, isa.RegNone, "b0")
+
+	reg := func() isa.Reg { return isa.Reg(r.Intn(nRegs)) }
+	intOps := []isa.Opcode{
+		isa.OpADD, isa.OpSUB, isa.OpXOR, isa.OpAND, isa.OpOR, isa.OpANDNOT,
+		isa.OpSLL, isa.OpSRL, isa.OpSRA, isa.OpCMPEQ, isa.OpCMPLT,
+		isa.OpCMPLE, isa.OpCMPULT, isa.OpMUL, isa.OpZAPNOT,
+	}
+
+	for b := 0; b < blocks; b++ {
+		g.label(blockLabel(b))
+		n := 3 + r.Intn(12)
+		for i := 0; i < n; i++ {
+			switch k := r.Intn(20); {
+			case k < 12: // ALU, register or immediate operand
+				op := intOps[r.Intn(len(intOps))]
+				in := isa.Instruction{Op: op, Dest: reg(), Src1: reg()}
+				if r.Intn(2) == 0 {
+					in.HasImm, in.Imm = true, int32(r.Intn(64))
+					if op == isa.OpSLL || op == isa.OpSRL || op == isa.OpSRA {
+						in.Imm &= 7
+					}
+				} else {
+					in.Src2 = reg()
+				}
+				g.emit(in)
+			case k < 14: // conditional move (reads its destination)
+				op := isa.OpCMOVNE
+				if r.Intn(2) == 0 {
+					op = isa.OpCMOVEQ
+				}
+				g.emit(isa.Instruction{Op: op, Dest: reg(), Src1: reg(), Src2: reg()})
+			case k < 17: // load with a random alias class
+				// Bounded displacement keeps all accesses in one page.
+				g.emit(isa.Instruction{
+					Op: isa.OpLDQ, Dest: reg(), Src1: base,
+					Imm: int32(r.Intn(64)) * 8, AliasClass: uint8(r.Intn(4)),
+				})
+			case k < 19: // store with a random alias class
+				g.emit(isa.Instruction{
+					Op: isa.OpSTQ, Src1: reg(), Src2: base,
+					Imm: int32(r.Intn(64)) * 8, AliasClass: uint8(r.Intn(4)),
+				})
+			default: // single-cycle address arithmetic
+				g.emit(isa.Instruction{Op: isa.OpLDA, Dest: reg(), Src1: reg(),
+					Imm: int32(r.Intn(32)), HasImm: true})
+			}
+		}
+		// Terminator: fall through, or a forward conditional skip.
+		if b+1 < blocks && r.Intn(2) == 0 {
+			target := b + 1 + r.Intn(blocks-b-1) + 1
+			if target > blocks {
+				target = blocks
+			}
+			ops := []isa.Opcode{isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE}
+			lbl := blockLabel(target)
+			if target == blocks {
+				lbl = "tail"
+			}
+			g.branch(ops[r.Intn(len(ops))], reg(), lbl)
+		}
+	}
+
+	g.label("tail")
+	g.emit(opRRI(isa.OpSUB, counter, counter, 1))
+	g.branch(isa.OpBGT, counter, "b0")
+
+	// Epilogue: publish every working register, making them all live-out.
+	for i := 0; i < nRegs; i++ {
+		g.emit(isa.Instruction{
+			Op: isa.OpSTQ, Src1: isa.Reg(i), Src2: base,
+			Imm: int32(1024 + i*8), AliasClass: 5,
+		})
+	}
+	g.emit(isa.Instruction{Op: isa.OpHALT})
+	g.resolve()
+
+	if err := g.p.Validate(); err != nil {
+		panic("workload: RandomProgram built an invalid program: " + err.Error())
+	}
+	return g.p
+}
+
+func blockLabel(b int) string {
+	const digits = "0123456789"
+	if b < 10 {
+		return "b" + digits[b:b+1]
+	}
+	return "b" + digits[b/10:b/10+1] + digits[b%10:b%10+1]
+}

@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"testing"
+
+	"braid/internal/braid"
+	"braid/internal/interp"
+	"braid/internal/isa"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 26 {
+		t.Fatalf("profiles = %d, want 26", len(ps))
+	}
+	if len(IntProfiles()) != 12 || len(FPProfiles()) != 14 {
+		t.Fatal("suite split wrong")
+	}
+	for _, p := range IntProfiles() {
+		if p.FP {
+			t.Errorf("%s in integer suite but marked FP", p.Name)
+		}
+	}
+	for _, p := range FPProfiles() {
+		if !p.FP {
+			t.Errorf("%s in FP suite but not marked FP", p.Name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Seed == 0 || p.SinglesShare == 0 {
+			t.Errorf("%s: defaults not applied", p.Name)
+		}
+	}
+	if _, ok := ProfileByName("gcc"); !ok {
+		t.Error("ProfileByName(gcc) failed")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("ProfileByName(nope) succeeded")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	prof, _ := ProfileByName("gcc")
+	p1, err := Generate(prof, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Generate(prof, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Instrs) != len(p2.Instrs) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range p1.Instrs {
+		if p1.Instrs[i] != p2.Instrs[i] {
+			t.Fatalf("instr %d differs", i)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	prof, _ := ProfileByName("gcc")
+	if _, err := Generate(prof, 0); err == nil {
+		t.Error("iterations 0 accepted")
+	}
+	bad := prof
+	bad.DataKB = 100 // not a power of two
+	if _, err := Generate(bad, 10); err == nil {
+		t.Error("non-power-of-two DataKB accepted")
+	}
+	bad = prof
+	bad.Blocks = 1
+	if _, err := Generate(bad, 10); err == nil {
+		t.Error("1-block profile accepted")
+	}
+}
+
+// TestAllProfilesRunAndBraid is the central integration test: every
+// generated benchmark must execute under the interpreter, braid without any
+// splits (the generator promises hazard-free blocks), satisfy the braid
+// invariants, and compute the same memory image before and after braiding
+// with the same dynamic instruction count.
+func TestAllProfilesRunAndBraid(t *testing.T) {
+	for _, prof := range Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			p, err := Generate(prof, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := braid.Compile(p, braid.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.VerifyInvariants(p); err != nil {
+				t.Fatal(err)
+			}
+			if n := res.MemSplits + res.DepSplits + res.PressureSplits; n != 0 {
+				t.Errorf("generator produced %d splits (mem=%d dep=%d pressure=%d)",
+					n, res.MemSplits, res.DepSplits, res.PressureSplits)
+			}
+			fo, err := interp.RunProgram(p, 3_000_000)
+			if err != nil {
+				t.Fatalf("original: %v", err)
+			}
+			fb, err := interp.RunProgram(res.Prog, 3_000_000)
+			if err != nil {
+				t.Fatalf("braided: %v", err)
+			}
+			if fo.MemHash != fb.MemHash {
+				t.Error("memory image diverged after braiding")
+			}
+			if fo.Steps != fb.Steps {
+				t.Errorf("dynamic length changed: %d -> %d", fo.Steps, fb.Steps)
+			}
+		})
+	}
+}
+
+// TestCharacterizationMatchesPaper checks that the execution-weighted braid
+// statistics of each generated benchmark land near the paper's published
+// Tables 1-3 values. Tolerances are deliberately loose (the generator honors
+// shape, not decimals); the experiment harness reports exact side-by-side
+// numbers.
+func TestCharacterizationMatchesPaper(t *testing.T) {
+	within := func(got, want, frac float64) bool {
+		d := got - want
+		if d < 0 {
+			d = -d
+		}
+		return d <= frac*want+0.35
+	}
+	for _, prof := range Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			p, err := Generate(prof, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := braid.Compile(p, braid.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := braid.NewDynamicStats(res)
+			m := interp.New(res.Prog)
+			if _, err := m.Run(3_000_000, func(si *interp.StepInfo) { ds.OnRetire(si.Index) }); err != nil {
+				t.Fatal(err)
+			}
+			s := ds.Stats()
+			if !within(s.BraidsPerBlock(), prof.BraidsPerBlock, 0.35) {
+				t.Errorf("braids/block = %.2f, paper %.2f", s.BraidsPerBlock(), prof.BraidsPerBlock)
+			}
+			if !within(s.MeanSize(), prof.MeanSize, 0.35) {
+				t.Errorf("size = %.2f, paper %.2f", s.MeanSize(), prof.MeanSize)
+			}
+			if !within(s.MeanWidth(), prof.MeanWidth, 0.25) {
+				t.Errorf("width = %.2f, paper %.2f", s.MeanWidth(), prof.MeanWidth)
+			}
+			if !within(s.MeanExtInputs(), prof.ExtInputs, 0.6) {
+				t.Errorf("ext inputs = %.2f, paper %.2f", s.MeanExtInputs(), prof.ExtInputs)
+			}
+		})
+	}
+}
+
+func TestKernels(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 5 {
+		t.Fatalf("kernels = %d, want 5", len(ks))
+	}
+	for _, k := range ks {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			res, err := braid.Compile(k, braid.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.VerifyInvariants(k); err != nil {
+				t.Fatal(err)
+			}
+			fo, err := interp.RunProgram(k, 1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := interp.RunProgram(res.Prog, 1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fo.MemHash != fb.MemHash {
+				t.Error("kernel memory image diverged after braiding")
+			}
+		})
+	}
+	if _, ok := KernelByName("fig2"); !ok {
+		t.Error("KernelByName(fig2) failed")
+	}
+	if _, ok := KernelByName("nope"); ok {
+		t.Error("KernelByName(nope) succeeded")
+	}
+}
+
+func TestDotKernelResult(t *testing.T) {
+	k, _ := KernelByName("dot")
+	m := interp.New(k)
+	if _, err := m.Run(100000, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Data segment is zero: the dot product of zero vectors is 0.0.
+	if got := m.Mem.Read64(isa.DataBase + 512); got != 0 {
+		t.Errorf("dot of zeros = %#x bits, want 0", got)
+	}
+}
+
+func TestBlocksWithinLimit(t *testing.T) {
+	// Every generated block must stay under the braid compiler's
+	// 127-instruction block limit; braid.Compile enforces it, but check
+	// the worst-case profile explicitly.
+	prof, _ := ProfileByName("mgrid")
+	p, err := Generate(prof, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := braid.Compile(p, braid.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointerChaseTouchesManyAddresses(t *testing.T) {
+	prof, _ := ProfileByName("mcf")
+	p, err := Generate(prof, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	m := interp.New(p)
+	if _, err := m.Run(3_000_000, func(si *interp.StepInfo) {
+		if si.Instr.IsLoad() && si.Instr.Dest == 26 { // the chase cursor
+			seen[si.Addr] = true
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) < 50 {
+		t.Errorf("pointer chase touched only %d distinct addresses", len(seen))
+	}
+}
+
+func TestMatmulKernelResult(t *testing.T) {
+	k, _ := KernelByName("matmul")
+	m := interp.New(k)
+	if _, err := m.Run(1_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The seed loop stores the word index: A[i][k] = i*8+k and
+	// B[k][j] = (k*8+j)^5. Check the full product against a Go model.
+	for i := uint64(0); i < 8; i++ {
+		for j := uint64(0); j < 8; j++ {
+			want := uint64(0)
+			for k := uint64(0); k < 8; k++ {
+				want += (i*8 + k) * ((k*8 + j) ^ 5)
+			}
+			addr := uint64(isa.DataBase) + 1024 + i*64 + j*8
+			if got := m.Mem.Read64(addr); got != want {
+				t.Fatalf("C[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCopyKernelResult(t *testing.T) {
+	k, _ := KernelByName("copy")
+	m := interp.New(k)
+	if _, err := m.Run(1_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The 4 KiB source is zero-initialized, so the destination and the
+	// checksum are zero; the copy still moved 256 words.
+	if got := m.Mem.Read64(uint64(isa.DataBase) + 4096 + 2048); got != 0 {
+		t.Errorf("checksum = %d, want 0", got)
+	}
+}
