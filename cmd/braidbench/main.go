@@ -6,13 +6,14 @@
 //
 // Usage:
 //
-//	braidbench [-exp id] [-dyn N] [-md] [-list]
+//	braidbench [-exp id] [-dyn N] [-j N] [-md] [-list]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"braid/internal/experiments"
@@ -23,6 +24,7 @@ func main() {
 	var (
 		expID      = flag.String("exp", "", "run a single experiment (see -list)")
 		dyn        = flag.Uint64("dyn", 30000, "dynamic instructions per benchmark")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (0: one per processor)")
 		md         = flag.Bool("md", false, "emit markdown instead of text tables")
 		csv        = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
@@ -65,8 +67,9 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "braidbench: preparing 26-benchmark suite (~%d dynamic instructions each)\n", *dyn)
-	w, err := experiments.LoadSuite(*dyn)
+	fmt.Fprintf(os.Stderr, "braidbench: preparing 26-benchmark suite (~%d dynamic instructions each, %d workers)\n",
+		*dyn, *jobs)
+	w, err := experiments.LoadSuiteJobs(*dyn, *jobs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "braidbench: %v\n", err)
 		os.Exit(1)
@@ -90,4 +93,6 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "braidbench: %s done in %v\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
+	fmt.Fprintf(os.Stderr, "braidbench: %d experiments, %d simulations, %v total\n",
+		len(todo), w.SimRuns(), time.Since(start).Round(time.Millisecond))
 }

@@ -100,8 +100,8 @@ func main() {
 	fmt.Printf("avg in flight   %.1f\n", st.MeanROBOccupancy())
 	fmt.Printf("idle cycles     %d (%.1f%%)\n", st.IdleCycles, 100*float64(st.IdleCycles)/float64(st.Cycles))
 	fmt.Printf("fetch stalls    %d cycles on mispredictions\n", st.FetchStallCycles)
-	fmt.Printf("RF entry stalls %d, port stalls %d, bypass denied %d, RF peak %d\n",
-		st.RFEntryStalls, st.PortStalls, st.BypassDenied, st.RFPeak)
+	fmt.Printf("RF entry stalls %d, read-port stalls %d, write-port stalls %d, bypass denied %d, RF peak %d\n",
+		st.RFEntryStalls, st.PortStalls, st.WritePortStalls, st.BypassDenied, st.RFPeak)
 	return
 }
 

@@ -7,6 +7,7 @@
 //	braidstat -bench gcc            one generated benchmark
 //	braidstat -kernel fig2          a built-in kernel
 //	braidstat -suite                all 26 SPEC CPU2000 stand-ins
+//	braidstat -suite -j 4           ... characterized 4 benchmarks at a time
 //	braidstat -values -bench mcf    value fanout/lifetime only
 package main
 
@@ -14,6 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
 	"braid/internal/braid"
 	"braid/internal/cfg"
@@ -29,19 +33,13 @@ func main() {
 		suite  = flag.Bool("suite", false, "characterize the whole suite")
 		values = flag.Bool("values", false, "value fanout/lifetime only")
 		iters  = flag.Int("iters", 50, "benchmark loop iterations")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "benchmarks characterized in parallel (-suite)")
 	)
 	flag.Parse()
 
 	switch {
 	case *suite:
-		for _, prof := range workload.Profiles() {
-			p, err := workload.Generate(prof, *iters)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("--- %s ---\n", prof.Name)
-			characterize(p, *values)
-		}
+		characterizeSuite(*iters, *values, *jobs)
 	case *bench != "":
 		prof, ok := workload.ProfileByName(*bench)
 		if !ok {
@@ -63,30 +61,83 @@ func main() {
 	}
 }
 
+// characterizeSuite runs every profile through a bounded worker pool and
+// prints the reports in profile order, whatever order they finish in.
+func characterizeSuite(iters int, valuesOnly bool, jobs int) {
+	profs := workload.Profiles()
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(profs) {
+		jobs = len(profs)
+	}
+	reports := make([]string, len(profs))
+	errs := make([]error, len(profs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < jobs; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				p, err := workload.Generate(profs[i], iters)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				reports[i], errs[i] = report(p, valuesOnly)
+			}
+		}()
+	}
+	for i := range profs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, prof := range profs {
+		if errs[i] != nil {
+			fatal(fmt.Errorf("%s: %w", prof.Name, errs[i]))
+		}
+		fmt.Printf("--- %s ---\n%s", prof.Name, reports[i])
+	}
+}
+
 func characterize(p *isa.Program, valuesOnly bool) {
-	vs, err := interp.Characterize(p, 100_000_000)
+	s, err := report(p, valuesOnly)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(vs.String())
+	fmt.Print(s)
+}
+
+// report builds one program's characterization text (§1 values, control
+// flow, Tables 1-3 braid statistics).
+func report(p *isa.Program, valuesOnly bool) (string, error) {
+	var b strings.Builder
+	vs, err := interp.Characterize(p, 100_000_000)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(vs.String())
 	if valuesOnly {
-		return
+		return b.String(), nil
 	}
 	if g, err := cfg.Build(p); err == nil {
 		loops := cfg.NaturalLoops(g)
-		fmt.Printf("control flow: %d blocks, %d natural loops\n", len(g.Blocks), len(loops))
+		fmt.Fprintf(&b, "control flow: %d blocks, %d natural loops\n", len(g.Blocks), len(loops))
 	}
 	res, err := braid.Compile(p, braid.Options{})
 	if err != nil {
-		fatal(err)
+		return "", err
 	}
 	ds := braid.NewDynamicStats(res)
 	m := interp.New(res.Prog)
 	if _, err := m.Run(100_000_000, func(si *interp.StepInfo) { ds.OnRetire(si.Index) }); err != nil {
-		fatal(err)
+		return "", err
 	}
 	st := ds.Stats()
-	fmt.Print(st.String())
+	b.WriteString(st.String())
+	return b.String(), nil
 }
 
 func fatal(err error) {

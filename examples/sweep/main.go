@@ -2,23 +2,39 @@
 // braid machine's external register file be? The paper's answer: 8 entries
 // behave like 256, because internal values never touch it.
 //
-//	go run ./examples/sweep [benchmark]
+// The sweep points are declared up front and simulated concurrently (bounded
+// by -j workers); the bars print in declaration order either way.
+//
+//	go run ./examples/sweep [-j N] [benchmark]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"os"
+	"runtime"
+	"sync"
 
 	"braid/internal/braid"
+	"braid/internal/isa"
 	"braid/internal/uarch"
 	"braid/internal/workload"
 )
 
+// point is one bar of the sweep: a program under one configuration.
+type point struct {
+	entries int
+	prog    *isa.Program
+	cfg     uarch.Config
+	ipc     float64
+}
+
 func main() {
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations")
+	flag.Parse()
 	name := "vortex"
-	if len(os.Args) > 1 {
-		name = os.Args[1]
+	if flag.NArg() > 0 {
+		name = flag.Arg(0)
 	}
 	prof, ok := workload.ProfileByName(name)
 	if !ok {
@@ -33,43 +49,70 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("=== %s: braid external register file sweep (paper Figure 6) ===\n\n", name)
-	base := 0.0
+	// Declare every point of both sweeps, then run them all concurrently.
+	var braidPts, oooPts []*point
 	for _, entries := range []int{256, 64, 32, 16, 8, 4} {
 		cfg := uarch.BraidConfig(8)
 		cfg.RFEntries = entries
-		st, err := uarch.Simulate(res.Prog, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if base == 0 {
-			base = st.IPC()
-		}
-		bar := ""
-		for i := 0.0; i < st.IPC()/base*40; i++ {
-			bar += "#"
-		}
-		fmt.Printf("%4d entries: IPC %6.3f  (%5.1f%% of 256)  %s\n",
-			entries, st.IPC(), 100*st.IPC()/base, bar)
+		braidPts = append(braidPts, &point{entries: entries, prog: res.Prog, cfg: cfg})
 	}
-	fmt.Println("\nAnd the conventional out-of-order machine on the same benchmark")
-	fmt.Println("(paper Figure 5) — it needs far more registers:")
-	base = 0.0
 	for _, entries := range []int{256, 64, 32, 16, 8} {
 		cfg := uarch.OutOfOrderConfig(8)
 		cfg.RFEntries = entries
-		st, err := uarch.Simulate(prog, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if base == 0 {
-			base = st.IPC()
-		}
+		oooPts = append(oooPts, &point{entries: entries, prog: prog, cfg: cfg})
+	}
+	if err := simulateAll(append(append([]*point{}, braidPts...), oooPts...), *jobs); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== %s: braid external register file sweep (paper Figure 6) ===\n\n", name)
+	printBars(braidPts)
+	fmt.Println("\nAnd the conventional out-of-order machine on the same benchmark")
+	fmt.Println("(paper Figure 5) — it needs far more registers:")
+	printBars(oooPts)
+}
+
+// simulateAll fills every point's IPC through a bounded worker pool.
+func simulateAll(pts []*point, jobs int) error {
+	if jobs < 1 {
+		jobs = 1
+	}
+	work := make(chan *point)
+	errs := make([]error, 1)
+	var (
+		wg   sync.WaitGroup
+		once sync.Once
+	)
+	for k := 0; k < jobs; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pt := range work {
+				st, err := uarch.Simulate(pt.prog, pt.cfg)
+				if err != nil {
+					once.Do(func() { errs[0] = err })
+					continue
+				}
+				pt.ipc = st.IPC()
+			}
+		}()
+	}
+	for _, pt := range pts {
+		work <- pt
+	}
+	close(work)
+	wg.Wait()
+	return errs[0]
+}
+
+func printBars(pts []*point) {
+	base := pts[0].ipc
+	for _, pt := range pts {
 		bar := ""
-		for i := 0.0; i < st.IPC()/base*40; i++ {
+		for i := 0.0; i < pt.ipc/base*40; i++ {
 			bar += "#"
 		}
 		fmt.Printf("%4d entries: IPC %6.3f  (%5.1f%% of 256)  %s\n",
-			entries, st.IPC(), 100*st.IPC()/base, bar)
+			pt.entries, pt.ipc, 100*pt.ipc/base, bar)
 	}
 }

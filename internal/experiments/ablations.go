@@ -126,11 +126,16 @@ func AblWindowOoO(w *Workloads) (*Result, error) {
 // files and reports both performance and the pressure splits induced.
 func AblInternal(w *Workloads) (*Result, error) {
 	r := newResult("abl-internal", "braid IPC vs internal registers at compile time, normalized to 8")
-	for _, b := range w.Benches {
+	err := w.EachBench(func(b *Bench) (func(), error) {
 		base, err := w.IPC(b, true, uarch.BraidConfig(8))
 		if err != nil {
 			return nil, err
 		}
+		type point struct {
+			ipc    float64
+			splits int
+		}
+		pointsByN := map[int]point{}
 		for _, n := range []int{4, 2} {
 			res, err := braid.Compile(b.Orig, braid.Options{MaxInternal: n})
 			if err != nil {
@@ -140,9 +145,17 @@ func AblInternal(w *Workloads) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			r.Set(b.Name, b.FP, fmt.Sprintf("%d", n), st.IPC()/base)
-			r.Set(b.Name, b.FP, fmt.Sprintf("splits@%d", n), float64(res.PressureSplits))
+			pointsByN[n] = point{st.IPC(), res.PressureSplits}
 		}
+		return func() {
+			for _, n := range []int{4, 2} {
+				r.Set(b.Name, b.FP, fmt.Sprintf("%d", n), pointsByN[n].ipc/base)
+				r.Set(b.Name, b.FP, fmt.Sprintf("splits@%d", n), float64(pointsByN[n].splits))
+			}
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	r.sortSeries([]string{"4", "2", "splits@4", "splits@2"})
 	r.AddClaim("4 internal registers already near 8", 1.0, r.Average("4", "all"))
@@ -154,7 +167,7 @@ func AblInternal(w *Workloads) (*Result, error) {
 // load-store queue loses its static disambiguation.
 func AblAlias(w *Workloads) (*Result, error) {
 	r := newResult("abl-alias", "IPC without compiler alias information, normalized to with")
-	for _, b := range w.Benches {
+	err := w.EachBench(func(b *Bench) (func(), error) {
 		stripped := b.Orig.Clone()
 		for i := range stripped.Instrs {
 			stripped.Instrs[i].AliasClass = 0
@@ -172,8 +185,7 @@ func AblAlias(w *Workloads) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.Set(b.Name, b.FP, "braid", st.IPC()/braidBase)
-		r.Set(b.Name, b.FP, "mem-splits", float64(res.MemSplits))
+		braidRel := st.IPC() / braidBase
 
 		oooBase, err := w.IPC(b, false, uarch.OutOfOrderConfig(8))
 		if err != nil {
@@ -183,7 +195,15 @@ func AblAlias(w *Workloads) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.Set(b.Name, b.FP, "o-o-o", st.IPC()/oooBase)
+		oooRel := st.IPC() / oooBase
+		return func() {
+			r.Set(b.Name, b.FP, "braid", braidRel)
+			r.Set(b.Name, b.FP, "mem-splits", float64(res.MemSplits))
+			r.Set(b.Name, b.FP, "o-o-o", oooRel)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	r.sortSeries([]string{"braid", "o-o-o", "mem-splits"})
 	r.Notes = append(r.Notes,

@@ -74,17 +74,21 @@ func Fig1(w *Workloads) (*Result, error) {
 		cfg.Mem.Perfect = true
 		return cfg
 	}
+	widths := []int{4, 8, 16}
+	var pts []Point
 	for _, b := range w.Benches {
-		base, err := w.IPC(b, false, mk(4))
-		if err != nil {
-			return nil, err
+		for _, width := range widths {
+			pts = append(pts, Point{b, false, mk(width)})
 		}
+	}
+	ipc, err := w.IPCAll(pts)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range w.Benches {
+		base := ipc[Point{b, false, mk(4)}]
 		for _, width := range []int{8, 16} {
-			ipc, err := w.IPC(b, false, mk(width))
-			if err != nil {
-				return nil, err
-			}
-			r.Set(b.Name, b.FP, fmt.Sprintf("%d-wide", width), ipc/base)
+			r.Set(b.Name, b.FP, fmt.Sprintf("%d-wide", width), ipc[Point{b, false, mk(width)}]/base)
 		}
 	}
 	r.AddClaim("8-wide speedup over 4-wide (avg)", 1.44, r.Average("8-wide", "all"))
@@ -167,20 +171,25 @@ var paperInternalsTable = map[string]float64{
 	"mgrid": 14.5, "sixtrack": 1.3, "swim": 4.5, "wupwise": 2.2,
 }
 
-// sweep runs a family of configurations over the suite and normalizes each
-// benchmark to its baseline configuration.
+// sweep runs a family of configurations over the suite — every (benchmark,
+// configuration) point simulated concurrently through the worker pool — and
+// normalizes each benchmark to its baseline configuration.
 func sweep(w *Workloads, r *Result, braided bool, baseline uarch.Config, series []string, mk func(s string) uarch.Config) error {
+	pts := make([]Point, 0, len(w.Benches)*(len(series)+1))
 	for _, b := range w.Benches {
-		base, err := w.IPC(b, braided, baseline)
-		if err != nil {
-			return err
-		}
+		pts = append(pts, Point{b, braided, baseline})
 		for _, s := range series {
-			ipc, err := w.IPC(b, braided, mk(s))
-			if err != nil {
-				return err
-			}
-			r.Set(b.Name, b.FP, s, ipc/base)
+			pts = append(pts, Point{b, braided, mk(s)})
+		}
+	}
+	ipc, err := w.IPCAll(pts)
+	if err != nil {
+		return err
+	}
+	for _, b := range w.Benches {
+		base := ipc[Point{b, braided, baseline}]
+		for _, s := range series {
+			r.Set(b.Name, b.FP, s, ipc[Point{b, braided, mk(s)}]/base)
 		}
 	}
 	r.sortSeries(series)
@@ -280,17 +289,21 @@ func ooo8() uarch.Config { return uarch.OutOfOrderConfig(8) }
 // braidSweep normalizes braid-core variants to the 8-wide conventional OoO
 // machine, the way Figures 9-12 are plotted.
 func braidSweep(w *Workloads, r *Result, series []string, mk func(s string) uarch.Config) error {
+	pts := make([]Point, 0, len(w.Benches)*(len(series)+1))
 	for _, b := range w.Benches {
-		base, err := w.IPC(b, false, ooo8())
-		if err != nil {
-			return err
-		}
+		pts = append(pts, Point{b, false, ooo8()})
 		for _, s := range series {
-			ipc, err := w.IPC(b, true, mk(s))
-			if err != nil {
-				return err
-			}
-			r.Set(b.Name, b.FP, s, ipc/base)
+			pts = append(pts, Point{b, true, mk(s)})
+		}
+	}
+	ipc, err := w.IPCAll(pts)
+	if err != nil {
+		return err
+	}
+	for _, b := range w.Benches {
+		base := ipc[Point{b, false, ooo8()}]
+		for _, s := range series {
+			r.Set(b.Name, b.FP, s, ipc[Point{b, true, mk(s)}]/base)
 		}
 	}
 	r.sortSeries(series)
@@ -387,18 +400,24 @@ func Fig13(w *Workloads) (*Result, error) {
 			series = append(series, fmt.Sprintf("%s/%dw", e.series, width))
 		}
 	}
+	pts := make([]Point, 0, len(w.Benches)*(len(series)+1))
 	for _, b := range w.Benches {
-		base, err := w.IPC(b, false, ooo8())
-		if err != nil {
-			return nil, err
-		}
+		pts = append(pts, Point{b, false, ooo8()})
 		for _, width := range []int{4, 8, 16} {
 			for _, e := range entries {
-				ipc, err := w.IPC(b, e.braided, e.mk(width))
-				if err != nil {
-					return nil, err
-				}
-				r.Set(b.Name, b.FP, fmt.Sprintf("%s/%dw", e.series, width), ipc/base)
+				pts = append(pts, Point{b, e.braided, e.mk(width)})
+			}
+		}
+	}
+	ipc, err := w.IPCAll(pts)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range w.Benches {
+		base := ipc[Point{b, false, ooo8()}]
+		for _, width := range []int{4, 8, 16} {
+			for _, e := range entries {
+				r.Set(b.Name, b.FP, fmt.Sprintf("%s/%dw", e.series, width), ipc[Point{b, e.braided, e.mk(width)}]/base)
 			}
 		}
 	}
@@ -440,19 +459,18 @@ func Pipeline(w *Workloads) (*Result, error) {
 	long := uarch.BraidConfig(8)
 	long.FrontDepth = 12
 	long.MispredictMin = 23
-	series := []string{"short/long"}
+	short := uarch.BraidConfig(8)
+	pts := make([]Point, 0, 2*len(w.Benches))
 	for _, b := range w.Benches {
-		lv, err := w.IPC(b, true, long)
-		if err != nil {
-			return nil, err
-		}
-		sv, err := w.IPC(b, true, uarch.BraidConfig(8))
-		if err != nil {
-			return nil, err
-		}
-		r.Set(b.Name, b.FP, "short/long", sv/lv)
+		pts = append(pts, Point{b, true, long}, Point{b, true, short})
 	}
-	_ = series
+	ipc, err := w.IPCAll(pts)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range w.Benches {
+		r.Set(b.Name, b.FP, "short/long", ipc[Point{b, true, short}]/ipc[Point{b, true, long}])
+	}
 	r.AddClaim("average speedup from shorter pipeline", 1.0219, r.Average("short/long", "all"))
 	return r, nil
 }

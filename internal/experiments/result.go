@@ -12,7 +12,10 @@ import (
 )
 
 // Result is one experiment's output: a benchmark × series value grid plus
-// headline claims compared against the paper.
+// headline claims compared against the paper. Result is not safe for
+// concurrent mutation: runners fan their simulations out through
+// Workloads.IPCAll/EachBench and then record into the grid serially, in
+// suite order, which also keeps row and column order deterministic.
 type Result struct {
 	ID    string
 	Title string

@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"braid/internal/braid"
 	"braid/internal/interp"
@@ -25,10 +28,19 @@ type Bench struct {
 	DynInstrs  uint64
 }
 
-// Workloads is the prepared suite plus a simulation cache.
+// Workloads is the prepared suite plus a simulation cache. The cache is safe
+// for concurrent use and duplicate-suppressing: when several goroutines ask
+// for the same (benchmark, braided, config) point, exactly one runs the
+// simulation and the rest wait for its result.
 type Workloads struct {
 	Benches []*Bench
-	memo    map[memoKey]float64
+
+	jobs int // worker-pool width for IPCAll and EachBench
+
+	mu   sync.Mutex
+	memo map[memoKey]*memoCell
+
+	simRuns atomic.Uint64 // simulations actually executed (not memo hits)
 }
 
 type memoKey struct {
@@ -37,21 +49,118 @@ type memoKey struct {
 	cfg     uarch.Config
 }
 
+// memoCell is one in-flight or finished simulation; done is closed when ipc
+// and err are final (a per-key latch, so duplicates wait instead of re-run).
+type memoCell struct {
+	done chan struct{}
+	ipc  float64
+	err  error
+}
+
+// Point names one simulation of the suite: a benchmark, which binary to run,
+// and the machine configuration.
+type Point struct {
+	Bench   *Bench
+	Braided bool
+	Cfg     uarch.Config
+}
+
+// defaultJobs resolves a worker count: n if positive, else all processors.
+func defaultJobs(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Jobs reports the suite's worker-pool width.
+func (w *Workloads) Jobs() int { return w.jobs }
+
+// SetJobs bounds the worker pool used by IPCAll and EachBench; n <= 0 means
+// one worker per processor.
+func (w *Workloads) SetJobs(n int) { w.jobs = defaultJobs(n) }
+
+// SimRuns reports how many simulations actually ran (memo misses); used by
+// tests to assert duplicate suppression.
+func (w *Workloads) SimRuns() uint64 { return w.simRuns.Load() }
+
 // LoadSuite generates and braids all 26 benchmarks, each calibrated to about
-// dynTarget dynamic instructions, and precomputes their characterization.
+// dynTarget dynamic instructions, and precomputes their characterization,
+// preparing one benchmark per processor at a time.
 func LoadSuite(dynTarget uint64) (*Workloads, error) {
+	return LoadSuiteJobs(dynTarget, 0)
+}
+
+// LoadSuiteJobs is LoadSuite with an explicit worker-pool width (jobs <= 0
+// means one worker per processor). The suite order is deterministic —
+// workload.Profiles order — regardless of which preparation finishes first.
+func LoadSuiteJobs(dynTarget uint64, jobs int) (*Workloads, error) {
 	if dynTarget < 1000 {
 		return nil, fmt.Errorf("experiments: dynTarget %d too small", dynTarget)
 	}
-	w := &Workloads{memo: map[memoKey]float64{}}
-	for _, prof := range workload.Profiles() {
+	w := &Workloads{memo: map[memoKey]*memoCell{}, jobs: defaultJobs(jobs)}
+	benches, err := parallelMap(w.jobs, workload.Profiles(), func(prof workload.Profile) (*Bench, error) {
 		b, err := prepare(prof, dynTarget)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", prof.Name, err)
 		}
-		w.Benches = append(w.Benches, b)
+		return b, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	w.Benches = benches
 	return w, nil
+}
+
+// parallelMap applies fn to every item through a bounded worker pool and
+// returns the results in input order. The first error wins; remaining items
+// still run (workers drain the queue) but their results are discarded.
+func parallelMap[T, R any](jobs int, items []T, fn func(T) (R, error)) ([]R, error) {
+	if jobs > len(items) {
+		jobs = len(items)
+	}
+	if jobs <= 1 {
+		out := make([]R, len(items))
+		for i, it := range items {
+			r, err := fn(it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	out := make([]R, len(items))
+	work := make(chan int)
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	for k := 0; k < jobs; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				r, err := fn(items[i])
+				if err != nil {
+					errOnce.Do(func() { firstEr = err })
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	for i := range items {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return out, nil
 }
 
 func prepare(prof workload.Profile, dynTarget uint64) (*Bench, error) {
@@ -114,21 +223,62 @@ func prepare(prof workload.Profile, dynTarget uint64) (*Bench, error) {
 }
 
 // IPC simulates one benchmark under cfg (braided selects the braid-compiled
-// binary) and caches the result.
+// binary) and caches the result. Safe for concurrent use: the first caller
+// of a point runs the simulation, concurrent duplicates block on its latch.
 func (w *Workloads) IPC(b *Bench, braided bool, cfg uarch.Config) (float64, error) {
 	key := memoKey{b.Name, braided, cfg}
-	if v, ok := w.memo[key]; ok {
-		return v, nil
+	w.mu.Lock()
+	if c, ok := w.memo[key]; ok {
+		w.mu.Unlock()
+		<-c.done
+		return c.ipc, c.err
 	}
+	c := &memoCell{done: make(chan struct{})}
+	w.memo[key] = c
+	w.mu.Unlock()
+
+	w.simRuns.Add(1)
 	p := b.Orig
 	if braided {
 		p = b.Braided
 	}
 	st, err := uarch.Simulate(p, cfg)
 	if err != nil {
-		return 0, fmt.Errorf("%s (%s braided=%v): %w", b.Name, cfg.Core, braided, err)
+		c.err = fmt.Errorf("%s (%s braided=%v): %w", b.Name, cfg.Core, braided, err)
+	} else {
+		c.ipc = st.IPC()
 	}
-	ipc := st.IPC()
-	w.memo[key] = ipc
-	return ipc, nil
+	close(c.done)
+	return c.ipc, c.err
+}
+
+// IPCAll simulates every point through the bounded worker pool and returns
+// the IPC for each. Duplicate points (and points already memoized) cost one
+// simulation total. The map is keyed by the exact Point values passed in.
+func (w *Workloads) IPCAll(points []Point) (map[Point]float64, error) {
+	ipcs, err := parallelMap(w.jobs, points, func(pt Point) (float64, error) {
+		return w.IPC(pt.Bench, pt.Braided, pt.Cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Point]float64, len(points))
+	for i, pt := range points {
+		out[pt] = ipcs[i]
+	}
+	return out, nil
+}
+
+// EachBench runs fn over every benchmark through the bounded worker pool and
+// applies the returned record closures in suite order, so Result grids come
+// out deterministic no matter which benchmark finishes first.
+func (w *Workloads) EachBench(fn func(b *Bench) (func(), error)) error {
+	records, err := parallelMap(w.jobs, w.Benches, fn)
+	if err != nil {
+		return err
+	}
+	for _, rec := range records {
+		rec()
+	}
+	return nil
 }

@@ -61,9 +61,10 @@ type Config struct {
 	PerfectBP     bool
 
 	// Execution resources.
-	IssueWidth int
-	TotalFUs   int // general-purpose functional units (all cores)
-	ROB        int // maximum instructions in flight
+	IssueWidth  int
+	RetireWidth int // instructions committed per cycle (0: IssueWidth)
+	TotalFUs    int // general-purpose functional units (all cores)
+	ROB         int // maximum instructions in flight
 
 	// External register file (in-flight value storage; DESIGN.md §1).
 	RFEntries    int
@@ -147,6 +148,12 @@ type Config struct {
 func (c *Config) Validate() error {
 	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.ROB <= 0 || c.TotalFUs <= 0 {
 		return fmt.Errorf("uarch: bad widths in config: %+v", c)
+	}
+	if c.RetireWidth < 0 {
+		return fmt.Errorf("uarch: negative retire width %d", c.RetireWidth)
+	}
+	if c.RetireWidth == 0 {
+		c.RetireWidth = c.IssueWidth
 	}
 	if c.RFEntries <= 0 || c.RFReadPorts <= 0 || c.RFWritePorts <= 0 {
 		return fmt.Errorf("uarch: bad register file config")

@@ -1,5 +1,10 @@
 package uarch
 
+import (
+	"fmt"
+	"strings"
+)
+
 // ---------------------------------------------------------------------------
 // Conventional out-of-order core: distributed schedulers (Table 4: eight
 // 32-entry windows), each selecting its oldest ready instruction per cycle.
@@ -226,16 +231,14 @@ func (c *braidCore) canAccept(d *dyn) bool {
 	}
 	if d.braidStart || c.cur < 0 {
 		// Seeing the next braid's first instruction means the current
-		// braid has fully dispatched (braids are consecutive), so its
-		// BEU stops receiving now — it frees once its FIFO drains,
-		// which keeps a one-BEU machine live.
-		if c.cur >= 0 {
-			c.beus[c.cur].open = false
-			if len(c.beus[c.cur].fifo) == 0 {
-				c.beus[c.cur].busy = false
-			}
+		// braid has fully dispatched (braids are consecutive). Its BEU
+		// is closed — and released once its FIFO has drained — by
+		// dispatch; the admission check only has to account for that
+		// release, which keeps a one-BEU machine live.
+		if c.freeBEU() >= 0 {
+			return true
 		}
-		return c.freeBEU() >= 0
+		return c.cur >= 0 && c.beus[c.cur].open && len(c.beus[c.cur].fifo) == 0
 	}
 	return len(c.beus[c.cur].fifo) < c.cfg.BEUFIFO
 }
@@ -266,8 +269,13 @@ func (c *braidCore) dispatch(d *dyn) {
 		return
 	}
 	if d.braidStart || c.cur < 0 {
+		// Close the previous braid's BEU (all side effects live here, so
+		// canAccept stays a pure admission check).
 		if c.cur >= 0 {
 			c.beus[c.cur].open = false
+			if len(c.beus[c.cur].fifo) == 0 {
+				c.beus[c.cur].busy = false
+			}
 		}
 		i := c.freeBEU()
 		c.cur = i
@@ -279,6 +287,45 @@ func (c *braidCore) dispatch(d *dyn) {
 	d.beu = c.cur
 	d.braidID = c.braidSeq
 	c.beus[c.cur].fifo = append(c.beus[c.cur].fifo, d)
+}
+
+// checkInvariants asserts the braid core's structural rules (called from the
+// engine's paranoid checker): at most one BEU receives a braid, an open BEU
+// is busy and is the current one, and canAccept is a pure admission check —
+// no state mutation on either the braid-start or the mid-braid path.
+func (c *braidCore) checkInvariants(t uint64) {
+	open := 0
+	for i := range c.beus {
+		b := &c.beus[i]
+		if b.open {
+			open++
+			if !b.busy {
+				panic(fmt.Sprintf("uarch: cycle %d: BEU %d open but not busy", t, i))
+			}
+			if i != c.cur {
+				panic(fmt.Sprintf("uarch: cycle %d: BEU %d open but cur=%d", t, i, c.cur))
+			}
+		}
+	}
+	if open > 1 {
+		panic(fmt.Sprintf("uarch: cycle %d: %d BEUs open", t, open))
+	}
+	before := c.snapshot()
+	c.canAccept(&dyn{braidStart: true, beu: -1, sched: -1})
+	c.canAccept(&dyn{beu: -1, sched: -1})
+	if c.snapshot() != before {
+		panic(fmt.Sprintf("uarch: cycle %d: canAccept mutated braid-core state", t))
+	}
+}
+
+// snapshot summarizes the braid core's mutable state for the purity check.
+func (c *braidCore) snapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cur=%d rr=%d seq=%d ser=%v", c.cur, c.nextRR, c.braidSeq, c.serialized)
+	for i := range c.beus {
+		fmt.Fprintf(&b, " %d:%v/%v/%d", i, c.beus[i].busy, c.beus[i].open, len(c.beus[i].fifo))
+	}
+	return b.String()
 }
 
 func (c *braidCore) issue(m *Machine, t uint64) {

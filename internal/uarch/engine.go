@@ -47,6 +47,7 @@ type Stats struct {
 	issuedSum        uint64
 	RFEntryStalls    uint64 // writebacks delayed by a full register file
 	PortStalls       uint64 // issues blocked on read ports
+	WritePortStalls  uint64 // writebacks delayed by exhausted write ports
 	BypassDenied     uint64 // writebacks that missed a bypass slot
 	RFPeak           int
 }
@@ -217,6 +218,9 @@ func (m *Machine) writeback(t uint64) {
 				if m.rfUsed >= m.cfg.RFEntries && !oldest {
 					m.stats.RFEntryStalls++
 				}
+				if m.writePortsUsed >= m.cfg.RFWritePorts {
+					m.stats.WritePortStalls++
+				}
 				remaining = append(remaining, d)
 				continue
 			}
@@ -249,7 +253,7 @@ func (m *Machine) writeback(t uint64) {
 // Stores write the data cache at retirement; external register-file entries
 // are released (the value is architecturally committed; DESIGN.md §1).
 func (m *Machine) retire(t uint64) {
-	width := m.cfg.IssueWidth
+	width := m.cfg.RetireWidth
 	n := 0
 	for len(m.rob) > 0 && n < width {
 		d := m.rob[0]
@@ -570,5 +574,8 @@ func (m *Machine) checkInvariants(t uint64) {
 			panic(fmt.Sprintf("uarch: cycle %d: stores[%d] out of age order", t, i))
 		}
 		prev = s.seq
+	}
+	if bc, ok := m.cre.(*braidCore); ok {
+		bc.checkInvariants(t)
 	}
 }
