@@ -28,9 +28,17 @@ func (Perfect) Train(uint64, bool) {}
 // of global history.
 type Perceptron struct {
 	histBits int
-	weights  [][]int16 // [entry][histBits+1]; index 0 is the bias weight
+	entries  int
+	weights  []int16 // entries × (histBits+1), flat; slot 0 of each row is the bias
 	history  uint64
 	theta    int32
+
+	// One-entry output cache: the simulator calls Predict then Train on the
+	// same branch with unchanged history, so the second dot product is free.
+	lastPC    uint64
+	lastHist  uint64
+	lastY     int32
+	lastValid bool
 
 	// Statistics.
 	Predictions uint64
@@ -43,33 +51,37 @@ func NewPerceptron(entries, histBits int) *Perceptron {
 	if entries <= 0 || histBits <= 0 || histBits > 64 {
 		panic("bpred: bad perceptron configuration")
 	}
-	p := &Perceptron{
+	return &Perceptron{
 		histBits: histBits,
-		weights:  make([][]int16, entries),
+		entries:  entries,
+		weights:  make([]int16, entries*(histBits+1)),
 		// Jiménez & Lin's threshold: 1.93*h + 14.
 		theta: int32(1.93*float64(histBits) + 14),
 	}
-	for i := range p.weights {
-		p.weights[i] = make([]int16, histBits+1)
-	}
-	return p
 }
 
-func (p *Perceptron) index(pc uint64) int {
+// row returns the weight vector selected by pc (bias first).
+func (p *Perceptron) row(pc uint64) []int16 {
 	h := pc ^ pc>>9 ^ pc>>17
-	return int(h % uint64(len(p.weights)))
+	i := int(h % uint64(p.entries))
+	return p.weights[i*(p.histBits+1) : (i+1)*(p.histBits+1)]
 }
 
 func (p *Perceptron) output(pc uint64) int32 {
-	w := p.weights[p.index(pc)]
-	y := int32(w[0])
-	for i := 0; i < p.histBits; i++ {
-		if p.history>>uint(i)&1 != 0 {
-			y += int32(w[i+1])
-		} else {
-			y -= int32(w[i+1])
-		}
+	if p.lastValid && p.lastPC == pc && p.lastHist == p.history {
+		return p.lastY
 	}
+	w := p.row(pc)
+	y := int32(w[0])
+	h := p.history
+	for i := 1; i <= p.histBits; i++ {
+		// Branchless ±w: sign is +1 when the history bit is set, -1 when
+		// clear; identical arithmetic to the obvious if/else.
+		s := int32(h&1)<<1 - 1
+		y += s * int32(w[i])
+		h >>= 1
+	}
+	p.lastPC, p.lastHist, p.lastY, p.lastValid = pc, p.history, y, true
 	return y
 }
 
@@ -92,7 +104,7 @@ func (p *Perceptron) Train(pc uint64, taken bool) {
 		p.Mispredicts++
 	}
 	if pred != taken || abs32(y) <= p.theta {
-		w := p.weights[p.index(pc)]
+		w := p.row(pc)
 		adj := func(i int, agree bool) {
 			if agree {
 				if w[i] < weightMax {
@@ -109,6 +121,7 @@ func (p *Perceptron) Train(pc uint64, taken bool) {
 		}
 	}
 	p.history = p.history<<1 | b2u(taken)
+	p.lastValid = false
 }
 
 // MispredictRate returns the fraction of trained branches that were

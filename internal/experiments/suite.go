@@ -40,7 +40,9 @@ type Workloads struct {
 	mu   sync.Mutex
 	memo map[memoKey]*memoCell
 
-	simRuns atomic.Uint64 // simulations actually executed (not memo hits)
+	simRuns   atomic.Uint64 // simulations actually executed (not memo hits)
+	simCycles atomic.Uint64 // machine cycles across executed simulations
+	simInstrs atomic.Uint64 // retired instructions across executed simulations
 }
 
 type memoKey struct {
@@ -83,6 +85,15 @@ func (w *Workloads) SetJobs(n int) { w.jobs = defaultJobs(n) }
 // SimRuns reports how many simulations actually ran (memo misses); used by
 // tests to assert duplicate suppression.
 func (w *Workloads) SimRuns() uint64 { return w.simRuns.Load() }
+
+// SimInstrs reports the total instructions retired across the simulations
+// that actually ran; together with wall-clock time it yields simulator
+// throughput (instructions per second).
+func (w *Workloads) SimInstrs() uint64 { return w.simInstrs.Load() }
+
+// SimCycles reports the total machine cycles across the simulations that
+// actually ran.
+func (w *Workloads) SimCycles() uint64 { return w.simCycles.Load() }
 
 // LoadSuite generates and braids all 26 benchmarks, each calibrated to about
 // dynTarget dynamic instructions, and precomputes their characterization,
@@ -247,6 +258,8 @@ func (w *Workloads) IPC(b *Bench, braided bool, cfg uarch.Config) (float64, erro
 		c.err = fmt.Errorf("%s (%s braided=%v): %w", b.Name, cfg.Core, braided, err)
 	} else {
 		c.ipc = st.IPC()
+		w.simInstrs.Add(st.Retired)
+		w.simCycles.Add(st.Cycles)
 	}
 	close(c.done)
 	return c.ipc, c.err

@@ -1,6 +1,9 @@
 package interp
 
-import "sort"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 // pageBits sizes the sparse memory pages (4 KiB).
 const pageBits = 12
@@ -8,9 +11,14 @@ const pageSize = 1 << pageBits
 
 // Memory is a sparse, page-granular byte-addressed memory. Uninitialized
 // locations read as zero. It is deliberately simple: programs in this
-// repository only touch their data segment, so a map of pages is ample.
+// repository only touch their data segment, so a map of pages is ample. A
+// one-entry page cache short-circuits the map on the overwhelmingly common
+// case of consecutive accesses to the same page.
 type Memory struct {
 	pages map[uint64]*[pageSize]byte
+
+	lastPN   uint64 // page number of last, valid only when last != nil
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
@@ -20,11 +28,18 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
 	pn := addr >> pageBits
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
 	p := m.pages[pn]
-	if p == nil && create {
+	if p == nil {
+		if !create {
+			return nil
+		}
 		p = new([pageSize]byte)
 		m.pages[pn] = p
 	}
+	m.lastPN, m.lastPage = pn, p
 	return p
 }
 
@@ -44,6 +59,13 @@ func (m *Memory) Store8(addr uint64, b byte) {
 
 // Read64 returns the little-endian 64-bit value at addr (unaligned allowed).
 func (m *Memory) Read64(addr uint64) uint64 {
+	if off := addr & (pageSize - 1); off <= pageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off:])
+	}
 	var v uint64
 	for i := 0; i < 8; i++ {
 		v |= uint64(m.Load8(addr+uint64(i))) << (8 * uint(i))
@@ -53,6 +75,10 @@ func (m *Memory) Read64(addr uint64) uint64 {
 
 // Write64 stores the little-endian 64-bit value v at addr.
 func (m *Memory) Write64(addr uint64, v uint64) {
+	if off := addr & (pageSize - 1); off <= pageSize-8 {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:], v)
+		return
+	}
 	for i := 0; i < 8; i++ {
 		m.Store8(addr+uint64(i), byte(v>>(8*uint(i))))
 	}
@@ -60,6 +86,13 @@ func (m *Memory) Write64(addr uint64, v uint64) {
 
 // Read32 returns the little-endian 32-bit value at addr.
 func (m *Memory) Read32(addr uint64) uint32 {
+	if off := addr & (pageSize - 1); off <= pageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(p[off:])
+	}
 	var v uint32
 	for i := 0; i < 4; i++ {
 		v |= uint32(m.Load8(addr+uint64(i))) << (8 * uint(i))
@@ -69,6 +102,10 @@ func (m *Memory) Read32(addr uint64) uint32 {
 
 // Write32 stores the little-endian 32-bit value v at addr.
 func (m *Memory) Write32(addr uint64, v uint32) {
+	if off := addr & (pageSize - 1); off <= pageSize-4 {
+		binary.LittleEndian.PutUint32(m.page(addr, true)[off:], v)
+		return
+	}
 	for i := 0; i < 4; i++ {
 		m.Store8(addr+uint64(i), byte(v>>(8*uint(i))))
 	}

@@ -15,14 +15,16 @@ type CacheConfig struct {
 	Latency int // cycles for a hit at this level
 }
 
-// Cache is one set-associative LRU cache level.
+// Cache is one set-associative LRU cache level. The per-way state lives in
+// flat slices indexed set*assoc+way, which keeps lookups on one cache line
+// per set and makes Clone a handful of copies.
 type Cache struct {
 	cfg    CacheConfig
 	sets   int
 	lineSh uint
-	tags   [][]uint64
-	valid  [][]bool
-	stamp  [][]uint64
+	tags   []uint64
+	valid  []bool
+	stamp  []uint64
 	tick   uint64
 	Hits   uint64
 	Misses uint64
@@ -43,15 +45,20 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 		sh++
 	}
 	c := &Cache{cfg: cfg, sets: sets, lineSh: sh}
-	c.tags = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.stamp = make([][]uint64, sets)
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint64, cfg.Assoc)
-		c.valid[i] = make([]bool, cfg.Assoc)
-		c.stamp[i] = make([]uint64, cfg.Assoc)
-	}
+	c.tags = make([]uint64, sets*cfg.Assoc)
+	c.valid = make([]bool, sets*cfg.Assoc)
+	c.stamp = make([]uint64, sets*cfg.Assoc)
 	return c, nil
+}
+
+// Clone returns an independent copy of the cache, state and counters alike.
+func (c *Cache) Clone() *Cache {
+	n := &Cache{}
+	*n = *c
+	n.tags = append([]uint64(nil), c.tags...)
+	n.valid = append([]bool(nil), c.valid...)
+	n.stamp = append([]uint64(nil), c.stamp...)
+	return n
 }
 
 // Access looks up addr, filling on miss, and reports whether it hit.
@@ -60,10 +67,10 @@ func (c *Cache) Access(addr uint64) bool {
 	line := addr >> c.lineSh
 	set := int(line % uint64(c.sets))
 	tag := line / uint64(c.sets)
-	ways := c.tags[set]
-	for w := range ways {
-		if c.valid[set][w] && ways[w] == tag {
-			c.stamp[set][w] = c.tick
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.stamp[base+w] = c.tick
 			c.Hits++
 			return true
 		}
@@ -71,18 +78,18 @@ func (c *Cache) Access(addr uint64) bool {
 	c.Misses++
 	// Fill the LRU way.
 	victim := 0
-	for w := 1; w < len(ways); w++ {
-		if !c.valid[set][w] {
+	for w := 1; w < c.cfg.Assoc; w++ {
+		if !c.valid[base+w] {
 			victim = w
 			break
 		}
-		if c.stamp[set][w] < c.stamp[set][victim] && c.valid[set][victim] {
+		if c.stamp[base+w] < c.stamp[base+victim] && c.valid[base+victim] {
 			victim = w
 		}
 	}
-	c.valid[set][victim] = true
-	c.tags[set][victim] = tag
-	c.stamp[set][victim] = c.tick
+	c.valid[base+victim] = true
+	c.tags[base+victim] = tag
+	c.stamp[base+victim] = c.tick
 	return false
 }
 
@@ -132,6 +139,13 @@ func NewHierarchy(cfg Config) (*Hierarchy, error) {
 		return nil, fmt.Errorf("mem: bad memory latency %d", cfg.MemLatency)
 	}
 	return &Hierarchy{cfg: cfg, l1i: l1i, l1d: l1d, l2: l2}, nil
+}
+
+// Clone returns an independent deep copy of the hierarchy — cache contents,
+// LRU state, and hit/miss counters — so a pre-warmed prototype can seed many
+// simulations.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{cfg: h.cfg, l1i: h.l1i.Clone(), l1d: h.l1d.Clone(), l2: h.l2.Clone()}
 }
 
 // AccessI returns the latency of an instruction fetch at addr.

@@ -142,6 +142,11 @@ type Config struct {
 	// counters in range, ROB age order, writeback queue sanity). Tests
 	// switch it on; it costs a few percent of simulation speed.
 	Paranoid bool
+
+	// NoFastForward disables idle-cycle skipping, simulating every cycle
+	// individually. Results are identical either way (the equivalence
+	// tests assert it); this exists for those tests and for debugging.
+	NoFastForward bool
 }
 
 // Validate checks internal consistency.

@@ -10,23 +10,21 @@ import (
 // 32-entry windows), each selecting its oldest ready instruction per cycle.
 
 type oooCore struct {
-	cfg    *Config
-	scheds [][]*dyn
+	cfg       *Config
+	scheds    [][]*dyn
+	freeSlots int // total unused scheduler entries (canAccept in O(1))
 }
 
 func newOOOCore(cfg *Config) *oooCore {
-	c := &oooCore{cfg: cfg, scheds: make([][]*dyn, cfg.Schedulers)}
+	c := &oooCore{
+		cfg:       cfg,
+		scheds:    make([][]*dyn, cfg.Schedulers),
+		freeSlots: cfg.Schedulers * cfg.SchedEntries,
+	}
 	return c
 }
 
-func (c *oooCore) canAccept(*dyn) bool {
-	for _, s := range c.scheds {
-		if len(s) < c.cfg.SchedEntries {
-			return true
-		}
-	}
-	return false
-}
+func (c *oooCore) canAccept(*dyn) bool { return c.freeSlots > 0 }
 
 func (c *oooCore) dispatch(d *dyn) {
 	// Least-occupied steering (deterministic ties).
@@ -41,6 +39,7 @@ func (c *oooCore) dispatch(d *dyn) {
 	}
 	d.sched = best
 	c.scheds[best] = append(c.scheds[best], d)
+	c.freeSlots--
 }
 
 func (c *oooCore) issue(m *Machine, t uint64) {
@@ -48,16 +47,59 @@ func (c *oooCore) issue(m *Machine, t uint64) {
 	// oldest-ready-first (entries are in age order by construction).
 	for i := range c.scheds {
 		s := c.scheds[i]
+		if len(s) == 0 {
+			continue
+		}
+		// Whole-scheduler skip: no entry's wake bound has arrived, so every
+		// mightIssue below would return false — unless exhausted issue
+		// bandwidth forces tryIssue calls for their IssueStalls accounting.
+		if m.wakeMin[i] > t &&
+			m.issuedThisCycle < m.cfg.IssueWidth && m.fusUsed < m.cfg.TotalFUs {
+			continue
+		}
+		min, issued := neverWakes, false
 		for k, d := range s {
+			if !m.mightIssue(d, t) {
+				if d.wakeLB < min {
+					min = d.wakeLB
+				}
+				continue
+			}
 			if m.tryIssue(d, t) {
 				c.scheds[i] = append(s[:k], s[k+1:]...)
+				c.freeSlots++
+				issued = true
 				break
+			}
+			if w := d.wakeLB; w > t {
+				if w < min {
+					min = w
+				}
+			} else if t+1 < min {
+				min = t + 1 // structural rejection: retry next cycle
 			}
 			if m.issuedThisCycle >= m.cfg.IssueWidth {
 				return
 			}
 		}
+		if !issued {
+			m.wakeMin[i] = min
+		}
 	}
+}
+
+// nextWake: every scheduler entry is examined each cycle, so all of them
+// bound the next possible issue.
+func (c *oooCore) nextWake(m *Machine, t uint64) uint64 {
+	w := neverWakes
+	for _, s := range c.scheds {
+		for _, d := range s {
+			if dw := m.dynWake(d, t); dw < w {
+				w = dw
+			}
+		}
+	}
+	return w
 }
 
 // ---------------------------------------------------------------------------
@@ -65,7 +107,7 @@ func (c *oooCore) issue(m *Machine, t uint64) {
 
 type inOrderCore struct {
 	cfg   *Config
-	queue []*dyn
+	queue dynRing
 	depth int
 }
 
@@ -73,17 +115,26 @@ func newInOrderCore(cfg *Config) *inOrderCore {
 	return &inOrderCore{cfg: cfg, depth: 8 * cfg.IssueWidth}
 }
 
-func (c *inOrderCore) canAccept(*dyn) bool { return len(c.queue) < c.depth }
+func (c *inOrderCore) canAccept(*dyn) bool { return c.queue.len() < c.depth }
 
-func (c *inOrderCore) dispatch(d *dyn) { c.queue = append(c.queue, d) }
+func (c *inOrderCore) dispatch(d *dyn) { c.queue.push(d) }
 
 func (c *inOrderCore) issue(m *Machine, t uint64) {
-	for len(c.queue) > 0 {
-		if !m.tryIssue(c.queue[0], t) {
+	for c.queue.len() > 0 {
+		d := c.queue.front()
+		if !m.mightIssue(d, t) || !m.tryIssue(d, t) {
 			return // strict in-order: stall at the first blocked instruction
 		}
-		c.queue = c.queue[1:]
+		c.queue.popFront()
 	}
+}
+
+// nextWake: strict in-order issue means only the queue head can unblock.
+func (c *inOrderCore) nextWake(m *Machine, t uint64) uint64 {
+	if c.queue.len() == 0 {
+		return neverWakes
+	}
+	return m.dynWake(c.queue.front(), t)
 }
 
 // ---------------------------------------------------------------------------
@@ -93,11 +144,23 @@ func (c *inOrderCore) issue(m *Machine, t uint64) {
 
 type depSteerCore struct {
 	cfg   *Config
-	fifos [][]*dyn
+	fifos []dynRing
+	heads []fifoHead // per-cycle scratch for issue's age sort
+
+	// canAccept's steering result, reused by the dispatch that immediately
+	// follows it (the engine admits then dispatches with no FIFO mutation in
+	// between) so the FIFO scan runs once per instruction, not twice.
+	steered   *dyn
+	steeredTo int
+}
+
+type fifoHead struct {
+	f int
+	d *dyn
 }
 
 func newDepSteerCore(cfg *Config) *depSteerCore {
-	return &depSteerCore{cfg: cfg, fifos: make([][]*dyn, cfg.SteerFIFOs)}
+	return &depSteerCore{cfg: cfg, fifos: make([]dynRing, cfg.SteerFIFOs)}
 }
 
 // steerTarget applies Palacharla's heuristic: if the left source operand's
@@ -107,41 +170,46 @@ func newDepSteerCore(cfg *Config) *depSteerCore {
 func (c *depSteerCore) steerTarget(d *dyn) int {
 	if d.nsrcs > 0 {
 		if p := d.srcs[0].producer; p != nil && !p.issued {
-			for f, q := range c.fifos {
-				if len(q) > 0 && len(q) < c.cfg.SteerFIFODeep && q[len(q)-1] == p {
+			for f := range c.fifos {
+				q := &c.fifos[f]
+				if n := q.len(); n > 0 && n < c.cfg.SteerFIFODeep && q.at(n-1) == p {
 					return f
 				}
 			}
 		}
 	}
-	for f, q := range c.fifos {
-		if len(q) == 0 {
+	for f := range c.fifos {
+		if c.fifos[f].len() == 0 {
 			return f
 		}
 	}
 	return -1
 }
 
-func (c *depSteerCore) canAccept(d *dyn) bool { return c.steerTarget(d) >= 0 }
+func (c *depSteerCore) canAccept(d *dyn) bool {
+	c.steered, c.steeredTo = d, c.steerTarget(d)
+	return c.steeredTo >= 0
+}
 
 func (c *depSteerCore) dispatch(d *dyn) {
-	f := c.steerTarget(d)
+	f := c.steeredTo
+	if d != c.steered {
+		f = c.steerTarget(d)
+	}
+	c.steered = nil
 	d.sched = f
-	c.fifos[f] = append(c.fifos[f], d)
+	c.fifos[f].push(d)
 }
 
 func (c *depSteerCore) issue(m *Machine, t uint64) {
 	// Heads only, oldest first across FIFOs.
-	type head struct {
-		f int
-		d *dyn
-	}
-	var heads []head
-	for f, q := range c.fifos {
-		if len(q) > 0 {
-			heads = append(heads, head{f, q[0]})
+	heads := c.heads[:0]
+	for f := range c.fifos {
+		if c.fifos[f].len() > 0 {
+			heads = append(heads, fifoHead{f, c.fifos[f].front()})
 		}
 	}
+	c.heads = heads[:0]
 	for swapped := true; swapped; { // tiny fixed-size sort by age
 		swapped = false
 		for i := 0; i+1 < len(heads); i++ {
@@ -155,10 +223,24 @@ func (c *depSteerCore) issue(m *Machine, t uint64) {
 		if m.issuedThisCycle >= m.cfg.IssueWidth {
 			return
 		}
-		if m.tryIssue(h.d, t) {
-			c.fifos[h.f] = c.fifos[h.f][1:]
+		if m.mightIssue(h.d, t) && m.tryIssue(h.d, t) {
+			c.fifos[h.f].popFront()
 		}
 	}
+}
+
+// nextWake: only FIFO heads are issue candidates, and nothing deeper can
+// issue before its head does, so the heads bound the core's next event.
+func (c *depSteerCore) nextWake(m *Machine, t uint64) uint64 {
+	w := neverWakes
+	for f := range c.fifos {
+		if c.fifos[f].len() > 0 {
+			if dw := m.dynWake(c.fifos[f].front(), t); dw < w {
+				w = dw
+			}
+		}
+	}
+	return w
 }
 
 // ---------------------------------------------------------------------------
@@ -180,6 +262,7 @@ type braidCore struct {
 	beus     []beu
 	cur      int    // BEU receiving the current braid; -1 if none
 	nextRR   int    // round-robin allocation pointer
+	freeCnt  int    // BEUs not busy (admission checks in O(1))
 	braidSeq uint64 // increments at each braid start
 
 	// serialized routes every braid to BEU 0: §3.4's exception mode,
@@ -196,14 +279,15 @@ func (c *braidCore) setSerialized(on bool) {
 	c.cur = -1
 	for i := range c.beus {
 		c.beus[i].open = false
-		if len(c.beus[i].fifo) == 0 {
+		if len(c.beus[i].fifo) == 0 && c.beus[i].busy {
 			c.beus[i].busy = false
+			c.freeCnt++
 		}
 	}
 }
 
 func newBraidCore(cfg *Config) *braidCore {
-	return &braidCore{cfg: cfg, beus: make([]beu, cfg.BEUs), cur: -1}
+	return &braidCore{cfg: cfg, beus: make([]beu, cfg.BEUs), cur: -1, freeCnt: cfg.BEUs}
 }
 
 func (c *braidCore) freeBEU() int {
@@ -213,13 +297,27 @@ func (c *braidCore) freeBEU() int {
 		}
 		return -1
 	}
+	if c.freeCnt == 0 {
+		return -1
+	}
+	i := c.nextRR
 	for k := 0; k < len(c.beus); k++ {
-		i := (c.nextRR + k) % len(c.beus)
 		if !c.beus[i].busy {
 			return i
 		}
+		if i++; i == len(c.beus) {
+			i = 0
+		}
 	}
-	return -1
+	panic("uarch: braid freeCnt out of sync with busy flags")
+}
+
+// anyFree is freeBEU's boolean shadow, O(1) via the busy counter.
+func (c *braidCore) anyFree() bool {
+	if c.serialized {
+		return !c.beus[0].busy
+	}
+	return c.freeCnt > 0
 }
 
 func (c *braidCore) canAccept(d *dyn) bool {
@@ -235,7 +333,7 @@ func (c *braidCore) canAccept(d *dyn) bool {
 		// is closed — and released once its FIFO has drained — by
 		// dispatch; the admission check only has to account for that
 		// release, which keeps a one-BEU machine live.
-		if c.freeBEU() >= 0 {
+		if c.anyFree() {
 			return true
 		}
 		return c.cur >= 0 && c.beus[c.cur].open && len(c.beus[c.cur].fifo) == 0
@@ -264,6 +362,7 @@ func (c *braidCore) dispatch(d *dyn) {
 			c.braidSeq++
 		}
 		d.beu = c.cur
+		d.sched = c.cur // wake-cache group (Machine.wakeMin) is the BEU
 		d.braidID = c.braidSeq
 		c.beus[c.cur].fifo = append(c.beus[c.cur].fifo, d)
 		return
@@ -275,6 +374,7 @@ func (c *braidCore) dispatch(d *dyn) {
 			c.beus[c.cur].open = false
 			if len(c.beus[c.cur].fifo) == 0 {
 				c.beus[c.cur].busy = false
+				c.freeCnt++
 			}
 		}
 		i := c.freeBEU()
@@ -282,9 +382,11 @@ func (c *braidCore) dispatch(d *dyn) {
 		c.nextRR = (i + 1) % len(c.beus)
 		c.beus[i].busy = true
 		c.beus[i].open = true
+		c.freeCnt--
 		c.braidSeq++
 	}
 	d.beu = c.cur
+	d.sched = c.cur // wake-cache group (Machine.wakeMin) is the BEU
 	d.braidID = c.braidSeq
 	c.beus[c.cur].fifo = append(c.beus[c.cur].fifo, d)
 }
@@ -310,6 +412,15 @@ func (c *braidCore) checkInvariants(t uint64) {
 	if open > 1 {
 		panic(fmt.Sprintf("uarch: cycle %d: %d BEUs open", t, open))
 	}
+	free := 0
+	for i := range c.beus {
+		if !c.beus[i].busy {
+			free++
+		}
+	}
+	if free != c.freeCnt {
+		panic(fmt.Sprintf("uarch: cycle %d: freeCnt %d but %d BEUs idle", t, c.freeCnt, free))
+	}
 	before := c.snapshot()
 	c.canAccept(&dyn{braidStart: true, beu: -1, sched: -1})
 	c.canAccept(&dyn{beu: -1, sched: -1})
@@ -334,10 +445,18 @@ func (c *braidCore) issue(m *Machine, t uint64) {
 		if len(b.fifo) == 0 {
 			if b.busy && !b.open {
 				b.busy = false // braid fully issued: release the BEU
+				c.freeCnt++
 			}
 			continue
 		}
+		// Whole-BEU skip: no windowed entry's wake bound has arrived (see
+		// oooCore.issue for the exhausted-bandwidth exception).
+		if m.wakeMin[i] > t &&
+			m.issuedThisCycle < m.cfg.IssueWidth && m.fusUsed < m.cfg.TotalFUs {
+			continue
+		}
 		issued := 0
+		min := neverWakes
 		head := b.fifo[0].braidID
 		// Examine the window at the FIFO head; issue ready entries
 		// (out of order within the window), up to the per-BEU FUs.
@@ -346,18 +465,59 @@ func (c *braidCore) issue(m *Machine, t uint64) {
 			if c.cfg.BEUQueueBraids && d.braidID != head {
 				break // the queued next braid waits for the head braid
 			}
+			if !m.mightIssue(d, t) {
+				if d.wakeLB < min {
+					min = d.wakeLB
+				}
+				w++
+				continue
+			}
 			if m.tryIssue(d, t) {
 				b.fifo = append(b.fifo[:w], b.fifo[w+1:]...)
 				issued++
 				continue // the window slides up; re-examine slot w
+			}
+			if lb := d.wakeLB; lb > t {
+				if lb < min {
+					min = lb
+				}
+			} else if t+1 < min {
+				min = t + 1 // structural rejection: retry next cycle
 			}
 			w++
 			if m.issuedThisCycle >= m.cfg.IssueWidth {
 				return
 			}
 		}
+		if issued == 0 {
+			m.wakeMin[i] = min
+		}
 		if len(b.fifo) == 0 && b.busy && !b.open {
 			b.busy = false
+			c.freeCnt++
 		}
 	}
+}
+
+// nextWake: each BEU examines only the window at its FIFO head (stopping at
+// a queued next braid); deeper entries cannot issue before the window moves.
+func (c *braidCore) nextWake(m *Machine, t uint64) uint64 {
+	w := neverWakes
+	for i := range c.beus {
+		b := &c.beus[i]
+		if len(b.fifo) == 0 {
+			continue
+		}
+		head := b.fifo[0].braidID
+		for k := 0; k < c.cfg.BEUWindow && k < len(b.fifo); k++ {
+			d := b.fifo[k]
+			if c.cfg.BEUQueueBraids && d.braidID != head {
+				break
+			}
+			if dw := m.dynWake(d, t); dw < w {
+				w = dw
+			}
+		}
+	}
+	return w
 }

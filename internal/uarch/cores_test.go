@@ -73,7 +73,7 @@ func TestDepSteerStallsWhenNoFIFOFits(t *testing.T) {
 	}
 	// But a consumer of a tail is accepted.
 	cons := mkdyn(4, false)
-	tail := c.fifos[0][len(c.fifos[0])-1]
+	tail := c.fifos[0].at(c.fifos[0].len() - 1)
 	cons.srcs[0] = source{producer: tail}
 	cons.nsrcs = 1
 	if !c.canAccept(cons) {

@@ -3,7 +3,6 @@ package uarch
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"braid/internal/isa"
 	"braid/internal/mem"
@@ -23,6 +22,12 @@ type core interface {
 	// issue selects and issues instructions for cycle t by calling
 	// m.tryIssue on candidates, respecting the core's structural rules.
 	issue(m *Machine, t uint64)
+	// nextWake returns a lower bound on the earliest cycle after t at
+	// which any instruction the core examines for issue could become
+	// source-ready through the passage of time alone (neverWakes if
+	// none can). It must not mutate core state; fast-forward consults it
+	// on provably idle cycles.
+	nextWake(m *Machine, t uint64) uint64
 }
 
 // Stats accumulates one run's results.
@@ -84,9 +89,38 @@ type Machine struct {
 	cre  core
 	hier *mem.Hierarchy
 
-	rob    []*dyn // in flight, in fetch order
-	stores []*dyn // in-flight stores for the LSQ
-	wbq    []*dyn // issued, awaiting writeback processing
+	rob    dynRing // in flight, in fetch order
+	stores dynRing // in-flight stores for the LSQ, in fetch order
+
+	// Completion calendar: issued instructions await writeback in a ring of
+	// per-cycle buckets indexed by completion cycle (a calendar queue —
+	// push and pop are O(1), with no comparison-sort cost). The ring spans
+	// more cycles than any issue-to-completion latency, so a bucket never
+	// mixes cycles; it doubles in the rare case a latency outgrows it.
+	// Results blocked on register-file entries or write ports retry from
+	// wbstall (kept in seq order); wbnext is that list's rebuild scratch.
+	wbcal   [][]*dyn
+	wbMask  uint64
+	wbCount int
+	wbstall []*dyn
+	wbnext  []*dyn // scratch for the next stall list
+
+	// dyn arena (see allocDyn): retired, unreferenced records recycle.
+	freeDyns []*dyn
+	dynChunk []dyn
+
+	// wakeMin caches, per issue structure (out-of-order scheduler or BEU,
+	// indexed by dyn.sched), a lower bound on the earliest cycle any of its
+	// entries could issue: the issue loop skips a whole structure while
+	// wakeMin > now. A complete no-issue scan raises it to the minimum of
+	// the entries' wake bounds; dispatching into, issuing from, or waking a
+	// consumer inside a structure lowers it again. Nil for cores whose
+	// issue loops examine too few candidates to be worth caching.
+	wakeMin []uint64
+
+	// latTab maps a functional-unit class (staticMeta.class) to its
+	// configured latency, so buildDyn indexes instead of switching.
+	latTab [16]uint64
 
 	seq   uint64
 	cycle uint64
@@ -119,22 +153,13 @@ func New(p *isa.Program, cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	hier, err := mem.NewHierarchy(cfg.Mem)
+	hier, err := warmHierarchy(p, cfg.Mem)
 	if err != nil {
 		return nil, err
 	}
 	m := &Machine{cfg: cfg, prog: p, hier: hier}
-	// Warm the caches to steady state: the paper measures whole
-	// MinneSPEC runs where cold misses are negligible; our runs are
-	// short enough that they would otherwise dominate. The instruction
-	// side covers the text segment; the data side pre-touches the first
-	// megabyte of the data space, so only footprints larger than the L2
-	// (the genuinely memory-bound benchmarks) keep missing to memory.
-	for i := 0; i < len(p.Instrs); i += 8 {
-		hier.AccessI(instrAddr(i))
-	}
-	for off := uint64(0); off < 1<<20; off += 64 {
-		hier.AccessD(isa.DataBase + off)
+	for c := range m.latTab {
+		m.latTab[c] = uint64(latencyClass(&cfg, isa.Class(c)))
 	}
 	m.fe = newFrontend(p, &cfg)
 	switch cfg.Core {
@@ -149,6 +174,12 @@ func New(p *isa.Program, cfg Config) (*Machine, error) {
 	default:
 		return nil, fmt.Errorf("uarch: unknown core kind %d", cfg.Core)
 	}
+	switch cfg.Core {
+	case CoreOutOfOrder:
+		m.wakeMin = make([]uint64, cfg.Schedulers)
+	case CoreBraid:
+		m.wakeMin = make([]uint64, cfg.BEUs)
+	}
 	return m, nil
 }
 
@@ -156,33 +187,155 @@ func New(p *isa.Program, cfg Config) (*Machine, error) {
 func (m *Machine) Run() (*Stats, error) {
 	for {
 		if m.cycle >= m.cfg.MaxCycles {
-			return nil, fmt.Errorf("uarch: %s on %q exceeded %d cycles", m.cfg.Core, m.prog.Name, m.cfg.MaxCycles)
+			return nil, fmt.Errorf("uarch: %s on %q exceeded %d cycles (fetched %d, retired %d, %d in flight — wedged machine or budget too small)",
+				m.cfg.Core, m.prog.Name, m.cfg.MaxCycles, m.stats.Fetched, m.stats.Retired, m.rob.len())
 		}
-		t := m.cycle
-		m.resetCycle()
-		m.writeback(t)
-		m.retire(t)
-		m.cre.issue(m, t)
-		m.dispatch(t)
-		m.fe.fetch(m, t)
-		if m.cfg.Paranoid {
-			m.checkInvariants(t)
-		}
-		if m.issuedThisCycle == 0 {
-			m.stats.IdleCycles++
-		}
-		if m.fe.stalledOn != nil {
-			m.stats.FetchStallCycles++
-		}
-		m.stats.robOccupancySum += uint64(len(m.rob))
-		m.stats.issuedSum += uint64(m.issuedThisCycle)
-		m.cycle++
-		if m.fe.done && len(m.rob) == 0 && len(m.fe.queue) == 0 {
+		if m.step() {
 			break
 		}
 	}
 	m.stats.Cycles = m.cycle
 	return &m.stats, nil
+}
+
+// step simulates one machine cycle — plus any provably idle cycles
+// fast-forward can skip — and reports whether the program has completed.
+func (m *Machine) step() bool {
+	t := m.cycle
+	m.resetCycle()
+	m.writeback(t)
+	m.retire(t)
+	m.cre.issue(m, t)
+	m.dispatch(t)
+	m.fe.fetch(m, t)
+	if m.cfg.Paranoid {
+		m.checkInvariants(t)
+	}
+	if m.issuedThisCycle == 0 {
+		m.stats.IdleCycles++
+	}
+	if m.fe.stalledOn != nil {
+		m.stats.FetchStallCycles++
+	}
+	m.stats.robOccupancySum += uint64(m.rob.len())
+	m.stats.issuedSum += uint64(m.issuedThisCycle)
+	m.cycle = t + 1
+	if m.fe.done && m.rob.len() == 0 && m.fe.queue.len() == 0 {
+		return true
+	}
+	if m.issuedThisCycle == 0 && !m.cfg.NoFastForward {
+		m.fastForward(t)
+	}
+	return false
+}
+
+// fastForward jumps the clock over cycles that are provably no-ops for every
+// pipeline stage, batch-accounting the per-cycle statistics the skipped
+// cycles would have recorded (IdleCycles, FetchStallCycles, ROB occupancy).
+// It runs only after a cycle that issued nothing, so every per-cycle resource
+// counter is zero and the cores' issue passes were complete (no early exits),
+// leaving core state settled. The invariants DESIGN.md documents:
+//
+//   - writeback: nothing in wbstall (stalled results retry every cycle); the
+//     next completion is the first occupied calendar bucket.
+//   - retire: the ROB head is incomplete (a complete head retires next cycle)
+//     and completes only at a writeback event.
+//   - issue: no examined instruction can become source-ready before
+//     core.nextWake's bound; structural rejections cannot flip on an idle
+//     cycle because per-cycle counters reset to zero.
+//   - dispatch: blocked on the ROB, the core, or single-instruction
+//     allocate/rename bounds — stable until a writeback/retire event — or on
+//     dispatchReady, an explicit event.
+//   - fetch: done, stalled on a mispredict (cleared only by that branch's
+//     writeback), blocked until an explicit cycle, or the queue is full
+//     (stable while dispatch is blocked).
+func (m *Machine) fastForward(t uint64) {
+	// Writeback-stalled results normally pin the clock (they retry every
+	// cycle), but a fully frozen register-file plateau is itself skippable:
+	// with the file full, no retirement possible (incomplete ROB head that
+	// is not itself awaiting writeback — the oldest-instruction exemption
+	// would grant it), and at least one write port configured, every
+	// stalled entry re-blocks identically each cycle, adding exactly one
+	// RFEntryStalls per entry per cycle until the next event.
+	stallPerCycle := uint64(0)
+	if len(m.wbstall) > 0 {
+		if m.rfUsed < m.cfg.RFEntries || m.cfg.RFWritePorts <= 0 {
+			return
+		}
+		h := m.rob.front()
+		if h.issued && !h.completed && h.execDone <= t {
+			return // head grants next cycle via the oldest exemption
+		}
+		stallPerCycle = uint64(len(m.wbstall))
+	}
+	if m.rob.len() > 0 && m.rob.front().completed {
+		return
+	}
+	if m.draining && m.rob.len() == 0 {
+		return // dispatch restores the exception checkpoint next cycle
+	}
+	next := m.cre.nextWake(m, t)
+	if !m.draining && m.fe.queue.len() > 0 {
+		h := m.fe.queue.front()
+		switch {
+		case h.dispatchReady > t+1:
+			if h.dispatchReady < next {
+				next = h.dispatchReady
+			}
+		case m.rob.len() < m.cfg.ROB && m.cre.canAccept(h) && !m.allocBound(h):
+			return // dispatch moves it next cycle
+		}
+	}
+	if !m.fe.done && m.fe.stalledOn == nil && m.fe.queue.len() < m.fe.queueCap {
+		if m.fe.blockedUntil > t+1 {
+			if m.fe.blockedUntil < next {
+				next = m.fe.blockedUntil
+			}
+		} else {
+			return // fetch proceeds next cycle
+		}
+	}
+	if m.wbCount > 0 {
+		// The next completion bounds the skip too. Scanning calendar
+		// buckets up to the earliest other event costs at most one probe
+		// per cycle actually skipped; pending slots all lie within one
+		// span of t, so a full-span scan is exhaustive.
+		limit := t + m.wbMask + 1
+		if next < limit {
+			limit = next
+		}
+		for c := t + 1; c <= limit; c++ {
+			if len(m.wbcal[c&m.wbMask]) > 0 {
+				next = c
+				break
+			}
+		}
+	}
+	if next > m.cfg.MaxCycles {
+		// No event inside the budget: land on it so Run reports the wedge
+		// immediately instead of crawling to it one cycle at a time.
+		next = m.cfg.MaxCycles
+	}
+	if next <= t+1 {
+		return
+	}
+	skipped := next - (t + 1)
+	m.stats.IdleCycles += skipped
+	if m.fe.stalledOn != nil {
+		m.stats.FetchStallCycles += skipped
+	}
+	m.stats.robOccupancySum += skipped * uint64(m.rob.len())
+	m.stats.RFEntryStalls += skipped * stallPerCycle
+	m.cycle = next
+}
+
+// allocBound reports whether d alone exceeds the per-cycle allocate/rename
+// bandwidth, which blocks dispatch permanently (no event changes it).
+func (m *Machine) allocBound(d *dyn) bool {
+	if d.hasExtDest && m.cfg.AllocWidth < 1 {
+		return true
+	}
+	return d.extSrcCount() > m.cfg.RenameSrc
 }
 
 func (m *Machine) resetCycle() {
@@ -198,76 +351,191 @@ func (m *Machine) resetCycle() {
 // entry and a write port; they retry every cycle until granted (oldest
 // first). Everything else completes unconditionally.
 func (m *Machine) writeback(t uint64) {
-	if len(m.wbq) == 0 {
-		return
+	var due []*dyn
+	if m.wbCount > 0 {
+		due = m.wbcal[t&m.wbMask]
 	}
-	sort.Slice(m.wbq, func(i, j int) bool { return m.wbq[i].seq < m.wbq[j].seq })
-	remaining := m.wbq[:0]
-	for _, d := range m.wbq {
-		if d.execDone > t {
-			remaining = append(remaining, d)
-			continue
-		}
-		if d.hasExtDest {
-			// The oldest in-flight instruction may always take an
-			// entry (transiently exceeding the limit) — otherwise
-			// younger completed values waiting to retire behind it
-			// would deadlock the machine.
-			oldest := len(m.rob) > 0 && m.rob[0] == d
-			if (m.rfUsed >= m.cfg.RFEntries && !oldest) || m.writePortsUsed >= m.cfg.RFWritePorts {
-				if m.rfUsed >= m.cfg.RFEntries && !oldest {
-					m.stats.RFEntryStalls++
-				}
-				if m.writePortsUsed >= m.cfg.RFWritePorts {
-					m.stats.WritePortStalls++
-				}
-				remaining = append(remaining, d)
-				continue
+	if len(m.wbstall) == 0 {
+		switch len(due) {
+		case 0:
+			return
+		case 1:
+			// Overwhelmingly common: one completion, nothing stalled.
+			d := due[0]
+			if m.writebackOne(d, t) {
+				m.wbstall = append(m.wbstall, d)
 			}
-			m.rfUsed++
-			if m.rfUsed > m.stats.RFPeak {
-				m.stats.RFPeak = m.rfUsed
-			}
-			m.writePortsUsed++
-			if m.bypassUsed < m.cfg.BypassValues {
-				m.bypassUsed++
-				d.bypassed = true
-			} else {
-				m.stats.BypassDenied++
-			}
-		}
-		d.completed = true
-		d.completeCycle = t
-		m.tryEarlyRelease(d)
-		if d.mispredicted {
-			// Redirect: fetch resumes after the configured gap.
-			m.fe.stalledOn = nil
-			m.fe.blockedUntil = t + 1 + m.cfg.redirectGap()
-			m.fe.haveLine = false
+			m.wbCount--
+			m.wbcal[t&m.wbMask] = due[:0]
+			return
 		}
 	}
-	m.wbq = remaining
+	// The due bucket holds exactly this cycle's completions, in issue
+	// order; restore pure age order (the batch is small, so an insertion
+	// sort is cheapest).
+	for i := 1; i < len(due); i++ {
+		d := due[i]
+		j := i
+		for j > 0 && due[j-1].seq > d.seq {
+			due[j] = due[j-1]
+			j--
+		}
+		due[j] = d
+	}
+	// Merge the due batch with earlier stalled results (both in seq order)
+	// so grants go strictly oldest first, as before.
+	stall := m.wbnext[:0]
+	si, di := 0, 0
+	for si < len(m.wbstall) || di < len(due) {
+		var d *dyn
+		if di >= len(due) || (si < len(m.wbstall) && m.wbstall[si].seq < due[di].seq) {
+			d = m.wbstall[si]
+			si++
+		} else {
+			d = due[di]
+			di++
+		}
+		if m.writebackOne(d, t) {
+			stall = append(stall, d)
+		}
+	}
+	m.wbnext = m.wbstall[:0]
+	m.wbstall = stall
+	if len(due) > 0 {
+		m.wbCount -= len(due)
+		m.wbcal[t&m.wbMask] = due[:0]
+	}
+}
+
+// writebackOne completes one due result; it reports true when the result is
+// blocked on a register-file entry or write port and must retry.
+func (m *Machine) writebackOne(d *dyn, t uint64) (blocked bool) {
+	if d.hasExtDest {
+		// The oldest in-flight instruction may always take an entry
+		// (transiently exceeding the limit) — otherwise younger completed
+		// values waiting to retire behind it would deadlock the machine.
+		oldest := m.rob.len() > 0 && m.rob.front() == d
+		if (m.rfUsed >= m.cfg.RFEntries && !oldest) || m.writePortsUsed >= m.cfg.RFWritePorts {
+			if m.rfUsed >= m.cfg.RFEntries && !oldest {
+				m.stats.RFEntryStalls++
+			}
+			if m.writePortsUsed >= m.cfg.RFWritePorts {
+				m.stats.WritePortStalls++
+			}
+			return true
+		}
+		m.rfUsed++
+		if m.rfUsed > m.stats.RFPeak {
+			m.stats.RFPeak = m.rfUsed
+		}
+		m.writePortsUsed++
+		if m.bypassUsed < m.cfg.BypassValues {
+			m.bypassUsed++
+			d.bypassed = true
+		} else {
+			m.stats.BypassDenied++
+		}
+	}
+	d.completed = true
+	d.completeCycle = t
+	// The value is (or soon will be) visible: wake consumers parked on the
+	// completion event. They re-derive any remaining delay when examined.
+	for _, c := range d.consumers {
+		if c.wakeLB > t {
+			c.wakeLB = t
+			m.noteWake(c, t)
+		}
+	}
+	m.tryEarlyRelease(d)
+	if d.mispredicted {
+		// Redirect: fetch resumes after the configured gap.
+		m.fe.stalledOn = nil
+		m.fe.blockedUntil = t + 1 + m.cfg.redirectGap()
+		m.fe.haveLine = false
+	}
+	return false
+}
+
+// calSpan sizes the completion calendar: the next power of two above the
+// configuration's longest issue-to-completion latency (a main-memory load),
+// so a bucket never mixes cycles. calGrow covers anything unforeseen.
+func calSpan(cfg *Config) uint64 {
+	maxLat := cfg.LatAGU + cfg.Mem.L1D.Latency + cfg.Mem.L2.Latency + cfg.Mem.MemLatency
+	for _, l := range []int{cfg.LatIntALU, cfg.LatIntMul, cfg.LatIntDiv,
+		cfg.LatFPAdd, cfg.LatFPMul, cfg.LatFPDiv} {
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	span := uint64(64)
+	for span < uint64(maxLat)+2 {
+		span *= 2
+	}
+	return span
+}
+
+// calPush schedules d for writeback. A result due at or before the current
+// cycle (zero-latency units) is processed next cycle, exactly as the former
+// priority queue did: writeback runs before issue, so cycle t's batch was
+// already taken when d issued.
+func (m *Machine) calPush(d *dyn, t uint64) {
+	slot := d.execDone
+	if slot <= t {
+		slot = t + 1
+	}
+	if m.wbcal == nil {
+		span := calSpan(&m.cfg)
+		m.wbcal = make([][]*dyn, span)
+		m.wbMask = span - 1
+		// Carve every bucket's initial capacity from one backing array;
+		// append only allocates for the rare >4-completions-per-cycle
+		// bucket (full capacity is retained when a bucket empties).
+		backing := make([]*dyn, 4*span)
+		for i := range m.wbcal {
+			m.wbcal[i] = backing[4*i : 4*i : 4*i+4]
+		}
+	}
+	for slot-t > m.wbMask {
+		m.calGrow()
+	}
+	d.wbSlot = slot
+	m.wbcal[slot&m.wbMask] = append(m.wbcal[slot&m.wbMask], d)
+	m.wbCount++
+}
+
+// calGrow doubles the calendar when a completion lands beyond its span,
+// re-bucketing pending entries under the wider mask.
+func (m *Machine) calGrow() {
+	old := m.wbcal
+	next := make([][]*dyn, 2*len(old))
+	mask := uint64(len(next) - 1)
+	for _, b := range old {
+		for _, d := range b {
+			next[d.wbSlot&mask] = append(next[d.wbSlot&mask], d)
+		}
+	}
+	m.wbcal = next
+	m.wbMask = mask
 }
 
 // retire commits completed instructions in order, up to the retire width.
 // Stores write the data cache at retirement; external register-file entries
 // are released (the value is architecturally committed; DESIGN.md §1).
+// Retired records return to the arena once nothing references them.
 func (m *Machine) retire(t uint64) {
 	width := m.cfg.RetireWidth
 	n := 0
-	for len(m.rob) > 0 && n < width {
-		d := m.rob[0]
+	for m.rob.len() > 0 && n < width {
+		d := m.rob.front()
 		if !d.completed || d.completeCycle > t {
 			break
 		}
 		if d.isStore {
 			m.hier.AccessD(d.addr)
-			// Remove from the LSQ.
-			for i, s := range m.stores {
-				if s == d {
-					m.stores = append(m.stores[:i], m.stores[i+1:]...)
-					break
-				}
+			// Stores dispatch and retire in program order, so the
+			// retiring store is always the LSQ head.
+			if s := m.stores.popFront(); s != d {
+				panic(fmt.Sprintf("uarch: cycle %d: retiring store seq %d is not the LSQ head (seq %d)", t, d.seq, s.seq))
 			}
 		}
 		if d.hasExtDest && !d.entryFreed {
@@ -275,11 +543,18 @@ func (m *Machine) retire(t uint64) {
 			m.rfUsed--
 		}
 		d.retired = true
-		m.traceRetire(d, t)
-		m.konataRetire(d, t)
-		m.rob = m.rob[1:]
+		if m.trace != nil {
+			m.traceRetire(d, t)
+		}
+		if m.konata != nil {
+			m.konataRetire(d, t)
+		}
+		m.rob.popFront()
 		m.stats.Retired++
 		n++
+		if d.refs == 0 {
+			m.freeDyns = append(m.freeDyns, d)
+		}
 		if m.cfg.ExceptionEvery > 0 {
 			m.sinceException++
 			if m.sinceException >= m.cfg.ExceptionEvery {
@@ -298,7 +573,7 @@ func (m *Machine) retire(t uint64) {
 // misprediction penalty), and then serializes dispatch through one unit.
 func (m *Machine) dispatch(t uint64) {
 	if m.draining {
-		if len(m.rob) > 0 {
+		if m.rob.len() > 0 {
 			return // wait for the pipeline to empty
 		}
 		m.draining = false
@@ -313,9 +588,9 @@ func (m *Machine) dispatch(t uint64) {
 		return
 	}
 	allocUsed, renameUsed, moved := 0, 0, 0
-	for len(m.fe.queue) > 0 && moved < m.cfg.FetchWidth {
-		d := m.fe.queue[0]
-		if d.dispatchReady > t || len(m.rob) >= m.cfg.ROB {
+	for m.fe.queue.len() > 0 && moved < m.cfg.FetchWidth {
+		d := m.fe.queue.front()
+		if d.dispatchReady > t || m.rob.len() >= m.cfg.ROB {
 			return
 		}
 		needAlloc := 0
@@ -331,17 +606,20 @@ func (m *Machine) dispatch(t uint64) {
 		allocUsed += needAlloc
 		renameUsed += d.extSrcCount()
 		m.cre.dispatch(d)
+		if m.wakeMin != nil && d.sched >= 0 {
+			m.wakeMin[d.sched] = 0 // a new candidate entered the structure
+		}
 		d.dispatched = true
 		d.dispatchCycle = t
-		m.rob = append(m.rob, d)
+		m.rob.push(d)
 		if d.isStore {
-			m.stores = append(m.stores, d)
+			m.stores.push(d)
 			m.stats.StoreCount++
 		}
 		if d.isLoad {
 			m.stats.Loads++
 		}
-		m.fe.queue = m.fe.queue[1:]
+		m.fe.queue.popFront()
 		moved++
 		if m.serializedLeft > 0 {
 			m.serializedLeft--
@@ -359,14 +637,22 @@ type serializer interface{ setSerialized(bool) }
 
 // srcsReady checks operand availability at cycle t and counts the external
 // register-file read ports the issue would need (bypassed and internal
-// operands are free).
-func (m *Machine) srcsReady(d *dyn, t uint64) (ports int, ok bool) {
+// operands are free). On failure, wake is a lower bound on the first cycle
+// at which the blocking source could possibly be ready; the bound stays
+// valid under any later event (an unissued producer yields t+1, i.e. "check
+// again next cycle"; issued and completed producers yield fixed times), so
+// callers may cache it and skip the check until then.
+func (m *Machine) srcsReady(d *dyn, t uint64) (ports int, wake uint64, ok bool) {
 	for i := 0; i < d.nsrcs; i++ {
 		s := &d.srcs[i]
 		p := s.producer
 		if s.internal {
-			if !intReady(p, t) {
-				return 0, false
+			if !p.issued {
+				// Park until p issues; p lowers the bound then.
+				return 0, neverWakes, false
+			}
+			if t < p.execDone {
+				return 0, p.execDone, false
 			}
 			continue
 		}
@@ -376,14 +662,24 @@ func (m *Machine) srcsReady(d *dyn, t uint64) (ports int, ok bool) {
 			continue
 		}
 		if !p.completed || p.completeCycle > t {
-			return 0, false
+			// Completion happens no earlier than the producer's
+			// functional unit finishes (write-port stalls only push
+			// it later); once that time has passed, the result is
+			// blocked in writeback and the completion event itself
+			// lowers the bound (writebackOne).
+			if p.issued && t < p.execDone {
+				return 0, p.execDone, false
+			}
+			return 0, neverWakes, false
 		}
 		if m.crossCluster(p, d) {
 			// §5.2 clustering: a value crossing clusters pays the
 			// inter-cluster delay and cannot be caught on the
-			// producing cluster's bypass network.
+			// producing cluster's bypass network. The wake bound is
+			// only t+1: the producer may retire first, making the
+			// value architectural (and port-readable) early.
 			if t < p.completeCycle+uint64(m.cfg.InterClusterDelay) {
-				return 0, false
+				return 0, t + 1, false
 			}
 			ports++
 			continue
@@ -392,11 +688,32 @@ func (m *Machine) srcsReady(d *dyn, t uint64) (ports int, ok bool) {
 			continue // caught on the bypass network
 		}
 		if t < p.completeCycle+uint64(m.cfg.ExtWakeupExtra) {
-			return 0, false // busy-bit propagation across units
+			// Busy-bit propagation across units; t+1 for the same
+			// retirement reason as above.
+			return 0, t + 1, false
 		}
 		ports++
 	}
-	return ports, true
+	return ports, 0, true
+}
+
+// noteWake propagates a lowered wake bound to c's issue structure so the
+// whole-structure skip in the issue loops stays sound (c may not be
+// dispatched yet; its structure is then re-opened at dispatch).
+func (m *Machine) noteWake(c *dyn, w uint64) {
+	if m.wakeMin != nil && c.sched >= 0 && w < m.wakeMin[c.sched] {
+		m.wakeMin[c.sched] = w
+	}
+}
+
+// mightIssue is the issue loops' cheap pre-filter: when it returns false,
+// tryIssue would provably fail without touching any counter or state, so the
+// call can be skipped with bit-identical results. When the issue width or
+// functional units are exhausted, tryIssue must run anyway — it counts an
+// IssueStall on that path.
+func (m *Machine) mightIssue(d *dyn, t uint64) bool {
+	return t >= d.wakeLB ||
+		m.issuedThisCycle >= m.cfg.IssueWidth || m.fusUsed >= m.cfg.TotalFUs
 }
 
 // crossCluster reports whether a value produced by p crosses a cluster
@@ -423,8 +740,9 @@ func (m *Machine) tryIssue(d *dyn, t uint64) bool {
 		m.stats.IssueStalls++
 		return false
 	}
-	ports, ok := m.srcsReady(d, t)
+	ports, wake, ok := m.srcsReady(d, t)
 	if !ok {
+		d.wakeLB = wake
 		return false
 	}
 	if ports > m.cfg.RFReadPorts {
@@ -451,7 +769,7 @@ func (m *Machine) tryIssue(d *dyn, t uint64) bool {
 	case d.isStore:
 		execDone = t + uint64(m.cfg.LatAGU)
 	default:
-		execDone = t + uint64(m.latency(d))
+		execDone = t + d.exLat
 	}
 
 	m.readPortsUsed += ports
@@ -460,16 +778,38 @@ func (m *Machine) tryIssue(d *dyn, t uint64) bool {
 	d.issued = true
 	d.issueCycle = t
 	d.execDone = execDone
-	// The issue consumed its operands: dead values may free their
-	// register-file entries (dead-value early release, DESIGN.md §1).
-	for i := 0; i < d.nsrcs; i++ {
-		s := &d.srcs[i]
-		if !s.internal && s.producer != nil && !s.producer.retired {
-			s.producer.pendingReads--
-			m.tryEarlyRelease(s.producer)
+	// Wake consumers parked on this issue: none can be ready before the
+	// result exists (internal values forward at execDone; external values
+	// complete no earlier).
+	for _, c := range d.consumers {
+		if c.wakeLB > execDone {
+			c.wakeLB = execDone
+			m.noteWake(c, execDone)
 		}
 	}
-	m.wbq = append(m.wbq, d)
+	// The issue moves this structure's window/selection state: re-examine
+	// it from the next cycle regardless of cached wake bounds.
+	if m.wakeMin != nil && d.sched >= 0 {
+		m.wakeMin[d.sched] = 0
+	}
+	// The issue consumed its operands: dead values may free their
+	// register-file entries (dead-value early release, DESIGN.md §1), and
+	// this instruction drops its producer references — sources are never
+	// consulted after issue, which is what lets producers recycle.
+	for i := 0; i < d.nsrcs; i++ {
+		s := &d.srcs[i]
+		p := s.producer
+		if p == nil {
+			continue
+		}
+		if !s.internal && !p.retired {
+			p.pendingReads--
+			m.tryEarlyRelease(p)
+		}
+		m.decRef(p)
+		s.producer = nil
+	}
+	m.calPush(d, t)
 	return true
 }
 
@@ -493,20 +833,19 @@ func (m *Machine) tryEarlyRelease(p *dyn) {
 // that could alias it (per the compiler's alias classes) has computed its
 // address; an overlapping in-flight store forwards its data.
 func (m *Machine) issueLoad(d *dyn, t uint64) (uint64, bool) {
-	bytes := uint64(d.in.Info().MemBytes)
 	var fwd *dyn
-	for _, s := range m.stores {
+	for i, ns := 0, m.stores.len(); i < ns; i++ {
+		s := m.stores.at(i)
 		if s.seq >= d.seq {
 			break
 		}
 		if !s.issued {
-			if mayAliasInstr(d.in, s.in) {
+			if mayAlias(d, s) {
 				return 0, false // older store address unknown
 			}
 			continue
 		}
-		sb := uint64(s.in.Info().MemBytes)
-		if s.addr < d.addr+bytes && d.addr < s.addr+sb {
+		if s.addr < d.addr+d.memBytes && d.addr < s.addr+s.memBytes {
 			fwd = s // youngest overlapping store wins
 		}
 	}
@@ -521,12 +860,12 @@ func (m *Machine) issueLoad(d *dyn, t uint64) (uint64, bool) {
 	return agu + uint64(m.hier.AccessD(d.addr)), true
 }
 
-// mayAliasInstr mirrors the braid compiler's static disambiguation.
-func mayAliasInstr(a, b *isa.Instruction) bool {
-	if a.AliasClass == 0 || b.AliasClass == 0 {
+// mayAlias mirrors the braid compiler's static disambiguation.
+func mayAlias(a, b *dyn) bool {
+	if a.aliasClass == 0 || b.aliasClass == 0 {
 		return true
 	}
-	return a.AliasClass == b.AliasClass
+	return a.aliasClass == b.aliasClass
 }
 
 // Simulate is the package's main entry point: run program p on cfg.
@@ -553,7 +892,8 @@ func (m *Machine) checkInvariants(t uint64) {
 		panic(fmt.Sprintf("uarch: cycle %d: execution counters exceed limits", t))
 	}
 	var prev uint64
-	for i, d := range m.rob {
+	for i := 0; i < m.rob.len(); i++ {
+		d := m.rob.at(i)
 		if d.seq <= prev {
 			panic(fmt.Sprintf("uarch: cycle %d: rob[%d] out of age order", t, i))
 		}
@@ -561,15 +901,32 @@ func (m *Machine) checkInvariants(t uint64) {
 		if d.retired {
 			panic(fmt.Sprintf("uarch: cycle %d: retired instruction still in rob", t))
 		}
+		if d.refs < 0 {
+			panic(fmt.Sprintf("uarch: cycle %d: seq %d has negative refcount", t, d.seq))
+		}
 	}
-	for _, d := range m.wbq {
+	cal := 0
+	for _, b := range m.wbcal {
+		cal += len(b)
+		for _, d := range b {
+			if !d.issued || d.completed {
+				panic(fmt.Sprintf("uarch: cycle %d: completion calendar holds seq %d issued=%v completed=%v",
+					t, d.seq, d.issued, d.completed))
+			}
+		}
+	}
+	if cal != m.wbCount {
+		panic(fmt.Sprintf("uarch: cycle %d: calendar count %d != %d", t, m.wbCount, cal))
+	}
+	for _, d := range m.wbstall {
 		if !d.issued || d.completed {
-			panic(fmt.Sprintf("uarch: cycle %d: wbq holds seq %d issued=%v completed=%v",
+			panic(fmt.Sprintf("uarch: cycle %d: writeback stall list holds seq %d issued=%v completed=%v",
 				t, d.seq, d.issued, d.completed))
 		}
 	}
 	prev = 0
-	for i, s := range m.stores {
+	for i := 0; i < m.stores.len(); i++ {
+		s := m.stores.at(i)
 		if s.seq <= prev {
 			panic(fmt.Sprintf("uarch: cycle %d: stores[%d] out of age order", t, i))
 		}

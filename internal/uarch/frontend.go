@@ -15,10 +15,14 @@ const textBase = 0x1000
 // timing. A mispredicted conditional branch stops fetch; the engine restarts
 // it when the branch executes, after the configured redirect gap.
 type frontend struct {
-	m    *interp.Machine
-	pred bpred.Predictor
+	prog  *isa.Program
+	meta  []staticMeta    // per-static-instruction decode metadata
+	trace []traceEntry    // shared dynamic stream (nil: use the interpreter)
+	tpos  int             // next trace entry to fetch
+	m     *interp.Machine // live fallback for non-halting programs
+	pred  bpred.Predictor
 
-	queue    []*dyn // fetched, awaiting dispatch
+	queue    dynRing // fetched, awaiting dispatch
 	queueCap int
 
 	done         bool   // HALT fetched
@@ -39,8 +43,9 @@ func newFrontend(p *isa.Program, cfg *Config) *frontend {
 	} else {
 		pred = bpred.NewPerceptron(512, 64)
 	}
-	return &frontend{
-		m:    interp.New(p),
+	fe := &frontend{
+		prog: p,
+		meta: programMeta(p),
 		pred: pred,
 		// The fetch-to-dispatch buffer must cover the front end's
 		// bandwidth-delay product (instructions are in flight for
@@ -48,6 +53,12 @@ func newFrontend(p *isa.Program, cfg *Config) *frontend {
 		// modeled resources, becomes the IPC ceiling.
 		queueCap: cfg.FetchWidth * (cfg.FrontDepth + 4),
 	}
+	if tr := programTrace(p); tr != nil {
+		fe.trace = tr
+	} else {
+		fe.m = interp.New(p)
+	}
+	return fe
 }
 
 func instrAddr(idx int) uint64 { return textBase + uint64(idx)*8 }
@@ -60,10 +71,21 @@ func (fe *frontend) fetch(m *Machine, t uint64) {
 	cfg := &m.cfg
 	branches := 0
 	for n := 0; n < cfg.FetchWidth; n++ {
-		if len(fe.queue) >= fe.queueCap {
+		if fe.queue.len() >= fe.queueCap {
 			return
 		}
-		pc := fe.m.PC
+		var pc int
+		if fe.trace != nil {
+			if fe.tpos >= len(fe.trace) {
+				// Past the last executed instruction: end of program,
+				// exactly where the interpreter would return an error.
+				fe.done = true
+				return
+			}
+			pc = int(fe.trace[fe.tpos].idx)
+		} else {
+			pc = fe.m.PC
+		}
 		addr := instrAddr(pc)
 		line := addr >> 6
 		if !fe.haveLine || line != fe.lastLine {
@@ -77,23 +99,31 @@ func (fe *frontend) fetch(m *Machine, t uint64) {
 			}
 		}
 
-		var info interp.StepInfo
-		if err := fe.m.Step(&info); err != nil {
-			// Out-of-range PC or similar: treat as end of program.
-			fe.done = true
-			return
+		var d *dyn
+		if fe.trace != nil {
+			e := &fe.trace[fe.tpos]
+			fe.tpos++
+			d = fe.buildDyn(m, &fe.prog.Instrs[pc], pc, e.addr, e.taken, t)
+		} else {
+			var info interp.StepInfo
+			if err := fe.m.Step(&info); err != nil {
+				// Out-of-range PC or similar: treat as end of program.
+				fe.done = true
+				return
+			}
+			d = fe.buildDyn(m, info.Instr, info.Index, info.Addr, info.Taken, t)
 		}
-		d := fe.buildDyn(m, &info, t)
-		fe.queue = append(fe.queue, d)
+		fe.queue.push(d)
 		m.stats.Fetched++
 
-		if d.in.IsHalt() {
+		sm := &fe.meta[d.idx]
+		if sm.isHalt {
 			fe.done = true
 			return
 		}
 		if d.isBranch {
 			branches++
-			if d.in.IsCondBranch() {
+			if sm.isCondBranch {
 				m.stats.CondBranches++
 				predicted := fe.pred.Predict(addr, d.taken)
 				fe.pred.Train(addr, d.taken)
@@ -118,28 +148,40 @@ func (fe *frontend) fetch(m *Machine, t uint64) {
 	}
 }
 
-// buildDyn wires the dependence edges using the owner tables.
-func (fe *frontend) buildDyn(m *Machine, info *interp.StepInfo, t uint64) *dyn {
-	in := info.Instr
+// buildDyn wires the dependence edges using the owner tables. Records come
+// from the machine's arena; every producer pointer stored (sources and owner
+// slots) takes a reference so the producer cannot recycle underneath it.
+func (fe *frontend) buildDyn(m *Machine, in *isa.Instruction, idx int, addr uint64, taken bool, t uint64) *dyn {
+	sm := &fe.meta[idx]
 	m.seq++
-	d := &dyn{
-		seq:           m.seq,
-		idx:           info.Index,
-		in:            in,
-		addr:          info.Addr,
-		isLoad:        in.IsLoad(),
-		isStore:       in.IsStore(),
-		isBranch:      in.IsBranch(),
-		taken:         info.Taken,
-		braidStart:    in.Start,
-		beu:           -1,
-		sched:         -1,
-		fetchCycle:    t,
-		dispatchReady: t + uint64(m.cfg.FrontDepth),
+	d := m.allocDyn()
+	d.seq = m.seq
+	d.idx = idx
+	d.in = in
+	d.addr = addr
+	d.isLoad = sm.isLoad
+	d.isStore = sm.isStore
+	d.isBranch = sm.isBranch
+	d.taken = taken
+	d.braidStart = sm.braidStart
+	d.beu = -1
+	d.sched = -1
+	d.fetchCycle = t
+	d.dispatchReady = t + uint64(m.cfg.FrontDepth)
+	if sm.isLoad || sm.isStore {
+		d.memBytes = uint64(sm.memBytes)
+		d.aliasClass = uint32(sm.aliasClass)
+	} else {
+		d.exLat = m.latTab[sm.class]
 	}
 	if d.braidStart {
 		// Internal values never cross braid boundaries (§3.4).
-		fe.intOwner = [isa.NumInternalRegs]*dyn{}
+		for i, p := range fe.intOwner {
+			if p != nil {
+				fe.intOwner[i] = nil
+				m.decRef(p)
+			}
+		}
 	}
 
 	addSrc := func(p *dyn, internal bool) {
@@ -148,53 +190,54 @@ func (fe *frontend) buildDyn(m *Machine, info *interp.StepInfo, t uint64) *dyn {
 		}
 		d.srcs[d.nsrcs] = source{producer: p, internal: internal}
 		d.nsrcs++
-		if !internal && !p.retired {
-			p.pendingReads++
+		if !internal {
+			d.extSrcs++
+			if !p.retired {
+				p.pendingReads++
+			}
 		}
+		p.refs++
+		p.consumers = append(p.consumers, d)
 	}
-	info2 := in.Info()
-	if info2.NumSrcs >= 1 {
-		if in.T1 {
-			addSrc(fe.intOwner[in.I1], true)
-		} else if in.Src1 != isa.RegNone && in.Src1 != isa.RegZero {
-			addSrc(fe.extOwner[in.Src1], false)
-		}
+	switch sm.s1Kind {
+	case srcInt:
+		addSrc(fe.intOwner[sm.s1Idx], true)
+	case srcExt:
+		addSrc(fe.extOwner[sm.s1Idx], false)
 	}
-	if info2.NumSrcs >= 2 && !in.HasImm {
-		if in.T2 {
-			addSrc(fe.intOwner[in.I2], true)
-		} else if in.Src2 != isa.RegNone && in.Src2 != isa.RegZero {
-			addSrc(fe.extOwner[in.Src2], false)
-		}
+	switch sm.s2Kind {
+	case srcInt:
+		addSrc(fe.intOwner[sm.s2Idx], true)
+	case srcExt:
+		addSrc(fe.extOwner[sm.s2Idx], false)
 	}
-	if info2.ReadsDest && in.Dest != isa.RegNone && in.Dest != isa.RegZero {
+	if sm.s3Kind == srcExt {
 		// Conditional moves read their old destination from the
 		// external file (the braid ISA has no T bit for it).
-		addSrc(fe.extOwner[in.Dest], false)
+		addSrc(fe.extOwner[sm.s3Idx], false)
 	}
 
-	if in.WritesReg() && in.Dest != isa.RegZero && (in.EDest || !in.IDest) {
+	if sm.hasExtDest {
 		d.hasExtDest = true
-		if old := fe.extOwner[in.Dest]; old != nil {
+		if old := fe.extOwner[sm.extDest]; old != nil {
 			old.closed = true
 			m.tryEarlyRelease(old)
+			m.decRef(old)
 		}
-		fe.extOwner[in.Dest] = d
+		fe.extOwner[sm.extDest] = d
+		d.refs++
 	}
-	if in.IDest {
+	if sm.hasIntDest {
 		d.hasIntDest = true
-		fe.intOwner[in.IDestIdx] = d
+		if old := fe.intOwner[sm.intDest]; old != nil {
+			m.decRef(old)
+		}
+		fe.intOwner[sm.intDest] = d
+		d.refs++
 	}
 	return d
 }
 
-// extSrcCount counts external source operands for rename bandwidth.
-func (d *dyn) extSrcCount() int {
-	n := 0
-	for i := 0; i < d.nsrcs; i++ {
-		if !d.srcs[i].internal {
-			n++
-		}
-	}
-	return n
-}
+// extSrcCount is the number of external source operands (rename bandwidth),
+// counted once when the dependence edges were wired.
+func (d *dyn) extSrcCount() int { return int(d.extSrcs) }

@@ -1,0 +1,43 @@
+package uarch
+
+// dynRing is a growable power-of-two ring buffer of in-flight instructions.
+// The ROB, the front-end fetch queue, and the load-store queue all push at
+// the tail and pop at the head in age order; a ring makes both ends O(1)
+// without the per-cycle re-slicing (and eventual re-allocation) that
+// `q = q[1:]` costs, and without ever moving elements.
+type dynRing struct {
+	buf  []*dyn // len(buf) is a power of two
+	head int
+	n    int
+}
+
+func (r *dynRing) len() int { return r.n }
+
+func (r *dynRing) push(d *dyn) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = d
+	r.n++
+}
+
+func (r *dynRing) front() *dyn { return r.buf[r.head] }
+
+// at returns the i-th element from the head (0 is the front).
+func (r *dynRing) at(i int) *dyn { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *dynRing) popFront() *dyn {
+	d := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return d
+}
+
+func (r *dynRing) grow() {
+	next := make([]*dyn, max(2*len(r.buf), 16))
+	for i := 0; i < r.n; i++ {
+		next[i] = r.at(i)
+	}
+	r.buf, r.head = next, 0
+}
