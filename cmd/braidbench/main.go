@@ -4,18 +4,31 @@
 // EXPERIMENTS.md), and -dyn sets the per-benchmark dynamic instruction
 // budget.
 //
+// The runner is fault tolerant: a simulator panic or cycle-budget blowout on
+// one design point is contained (reported to stderr, with a crash artifact
+// under -crashdir), and the sweep continues. -checkpoint appends every
+// completed simulation to a JSONL file; after Ctrl-C or a crash, rerunning
+// with -resume replays the finished points and produces bit-identical output
+// without re-simulating them.
+//
 // Usage:
 //
 //	braidbench [-exp id] [-dyn N] [-j N] [-md] [-list]
+//	braidbench -checkpoint sweep.jsonl            # interruptible sweep
+//	braidbench -checkpoint sweep.jsonl -resume    # pick up where it stopped
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/debug"
+	"syscall"
 	"time"
 
 	"braid/internal/experiments"
@@ -38,6 +51,10 @@ func main() {
 		ablations  = flag.Bool("ablations", false, "run the ablation studies instead of the paper artifacts")
 		complexity = flag.Bool("complexity", false, "print the §5.1 structure-complexity comparison and exit")
 		throughput = flag.Bool("throughput", false, "append a JSON simulator-throughput summary to stdout")
+		checkpoint = flag.String("checkpoint", "", "append completed simulations to this JSONL file")
+		resume     = flag.Bool("resume", false, "reload finished points from -checkpoint before running")
+		crashDir   = flag.String("crashdir", "crashes", "directory for simulator-fault repro artifacts")
+		simTimeout = flag.Duration("sim-timeout", 0, "wall-clock budget per simulation (0: none)")
 	)
 	flag.Parse()
 
@@ -74,22 +91,55 @@ func main() {
 		todo = experiments.All()
 	}
 
+	// Ctrl-C cancels the whole suite: in-flight simulations notice within a
+	// few thousand cycles, queued ones never start, and -resume restarts
+	// from the checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "braidbench: preparing 26-benchmark suite (~%d dynamic instructions each, %d workers)\n",
 		*dyn, *jobs)
-	w, err := experiments.LoadSuiteJobs(*dyn, *jobs)
+	w, err := experiments.LoadSuiteCtx(ctx, *dyn, *jobs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "braidbench: %v\n", err)
 		os.Exit(1)
 	}
+	w.SetContext(ctx)
+	w.SetTimeout(*simTimeout)
+	w.SetCrashDir(*crashDir)
+	if *checkpoint != "" {
+		restored, err := w.OpenCheckpoint(*checkpoint, *resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braidbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer w.CloseCheckpoint()
+		if *resume {
+			fmt.Fprintf(os.Stderr, "braidbench: resumed %d finished simulations from %s\n", restored, *checkpoint)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "braidbench: suite ready in %v\n", time.Since(start).Round(time.Millisecond))
 
+	exit := 0
 	for _, e := range todo {
 		t0 := time.Now()
 		res, err := e.Run(w)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "braidbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+		switch {
+		case errors.Is(err, uarch.ErrCanceled):
+			fmt.Fprintf(os.Stderr, "braidbench: interrupted during %s", e.ID)
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "; rerun with -checkpoint %s -resume to continue", *checkpoint)
+			}
+			fmt.Fprintln(os.Stderr)
+			w.CloseCheckpoint()
+			os.Exit(130)
+		case err != nil:
+			// A non-contained failure kills this experiment but not the
+			// rest of the run: later experiments may still be computable.
+			fmt.Fprintf(os.Stderr, "braidbench: %s failed: %v\n", e.ID, err)
+			exit = 1
+			continue
 		}
 		switch {
 		case *md:
@@ -100,6 +150,12 @@ func main() {
 			fmt.Println(res.String())
 		}
 		fmt.Fprintf(os.Stderr, "braidbench: %s done in %v\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	if failures := w.Failures(); len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "braidbench: %d design points failed and were skipped:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "braidbench:   %s\n", f)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "braidbench: %d experiments, %d simulations, %v total\n",
 		len(todo), w.SimRuns(), time.Since(start).Round(time.Millisecond))
@@ -125,7 +181,11 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(summary); err != nil {
 			fmt.Fprintf(os.Stderr, "braidbench: %v\n", err)
-			os.Exit(1)
+			exit = 1
 		}
+	}
+	if exit != 0 {
+		w.CloseCheckpoint() // os.Exit skips the defer
+		os.Exit(exit)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"strings"
 
 	"braid/internal/asm"
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := braid.Compile(p, braid.Options{MaxInternal: *maxInt})
+	res, err := compileChecked(p, braid.Options{MaxInternal: *maxInt})
 	if err != nil {
 		fatal(err)
 	}
@@ -90,6 +91,18 @@ func main() {
 		return
 	}
 	fmt.Print(asm.Format(res.Prog))
+}
+
+// compileChecked contains a compiler panic as an ordinary error, so a
+// malformed input produces a diagnostic instead of a stack-trace crash.
+func compileChecked(p *isa.Program, opts braid.Options) (res *braid.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("compiler panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return braid.Compile(p, opts)
 }
 
 func loadProgram(kernel, bench string, iters int, args []string) (*isa.Program, error) {

@@ -7,20 +7,28 @@
 //	braidsim -bench gcc -core ooo -width 16   16-wide out-of-order
 //	braidsim -kernel dot -core inorder
 //	braidsim file.s -core dep
+//	braidsim -config crashes/gcc-braid-braided=true.json
 //
 // The braid core automatically braids the input program first; other cores
 // run it as-is. -perfect-bp and -perfect-mem select the idealized front end
-// of Figure 1.
+// of Figure 1. -config replays a crash artifact written by the braidbench
+// fault-tolerant runner: the saved program image runs under the exact saved
+// configuration, reproducing the original simulator fault.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"braid/internal/asm"
 	"braid/internal/braid"
+	"braid/internal/experiments"
 	"braid/internal/isa"
 	"braid/internal/uarch"
 	"braid/internal/workload"
@@ -37,40 +45,63 @@ func main() {
 		perfectMem = flag.Bool("perfect-mem", false, "perfect caches")
 		trace      = flag.Int("trace", 0, "print a pipeline trace of the first N instructions")
 		konata     = flag.String("konata", "", "write a Kanata pipeline log (for the Konata viewer) to this file")
+		configPath = flag.String("config", "", "replay a crash artifact (JSON written by braidbench -crashdir)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the simulation (0: none)")
 	)
 	flag.Parse()
 
-	p, err := load(*bench, *kernel, *iters, flag.Args())
-	if err != nil {
-		fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	var cfg uarch.Config
-	switch *core {
-	case "inorder":
-		cfg = uarch.InOrderConfig(*width)
-	case "dep":
-		cfg = uarch.DepSteerConfig(*width)
-	case "ooo":
-		cfg = uarch.OutOfOrderConfig(*width)
-	case "braid":
-		cfg = uarch.BraidConfig(*width)
-		if alreadyBraided(p) {
-			fmt.Fprintln(os.Stderr, "braidsim: input is already braided")
-			break
-		}
-		res, err := braid.Compile(p, braid.Options{})
+	var (
+		p   *isa.Program
+		cfg uarch.Config
+	)
+	if *configPath != "" {
+		art, prog, err := experiments.ReadCrashArtifact(*configPath)
 		if err != nil {
-			fatal(fmt.Errorf("braiding: %w", err))
+			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "braidsim: braided %d instructions into %d braids\n",
-			len(res.Prog.Instrs), len(res.Braids))
-		p = res.Prog
-	default:
-		fatal(fmt.Errorf("unknown core %q", *core))
+		p, cfg = prog, art.Config
+		fmt.Fprintf(os.Stderr, "braidsim: replaying %s (%s braided=%v), original fault at cycle %d: %s\n",
+			art.Bench, cfg.Core, art.Braided, art.Cycle, art.Panic)
+	} else {
+		var err error
+		p, err = load(*bench, *kernel, *iters, flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		switch *core {
+		case "inorder":
+			cfg = uarch.InOrderConfig(*width)
+		case "dep":
+			cfg = uarch.DepSteerConfig(*width)
+		case "ooo":
+			cfg = uarch.OutOfOrderConfig(*width)
+		case "braid":
+			cfg = uarch.BraidConfig(*width)
+			if alreadyBraided(p) {
+				fmt.Fprintln(os.Stderr, "braidsim: input is already braided")
+				break
+			}
+			res, err := braid.Compile(p, braid.Options{})
+			if err != nil {
+				fatal(fmt.Errorf("braiding: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "braidsim: braided %d instructions into %d braids\n",
+				len(res.Prog.Instrs), len(res.Braids))
+			p = res.Prog
+		default:
+			fatal(fmt.Errorf("unknown core %q", *core))
+		}
+		cfg.PerfectBP = *perfectBP
+		cfg.Mem.Perfect = *perfectMem
 	}
-	cfg.PerfectBP = *perfectBP
-	cfg.Mem.Perfect = *perfectMem
 
 	m, err := uarch.New(p, cfg)
 	if err != nil {
@@ -87,8 +118,26 @@ func main() {
 		defer f.Close()
 		m.SetKonata(f, 100000)
 	}
-	st, err := m.Run()
+	st, err := m.RunChecked(ctx)
 	if err != nil {
+		var sf *uarch.SimFault
+		switch {
+		case errors.As(err, &sf):
+			fmt.Fprintf(os.Stderr, "braidsim: simulator fault at cycle %d: %v\n", sf.Cycle, sf.Panic)
+			if len(sf.Stack) > 0 {
+				fmt.Fprintf(os.Stderr, "%s", sf.Stack)
+			}
+			os.Exit(2)
+		case errors.Is(err, uarch.ErrCycleLimit):
+			fmt.Fprintf(os.Stderr, "braidsim: %v\n", err)
+			os.Exit(3)
+		case errors.Is(err, uarch.ErrTimeout):
+			fmt.Fprintf(os.Stderr, "braidsim: timed out after %v: %v\n", *timeout, err)
+			os.Exit(4)
+		case errors.Is(err, uarch.ErrCanceled):
+			fmt.Fprintf(os.Stderr, "braidsim: interrupted: %v\n", err)
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	fmt.Printf("core            %s, %d-wide\n", cfg.Core, cfg.IssueWidth)

@@ -9,15 +9,27 @@
 //	braidstat -suite                all 26 SPEC CPU2000 stand-ins
 //	braidstat -suite -j 4           ... characterized 4 benchmarks at a time
 //	braidstat -values -bench mcf    value fanout/lifetime only
+//
+// With -suite, -checkpoint appends each finished benchmark's report to a
+// JSONL file; Ctrl-C stops the pool without printing a partial suite, and
+// rerunning with -resume reloads the finished reports and only
+// recharacterizes the rest, producing identical output.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"syscall"
 
 	"braid/internal/braid"
 	"braid/internal/cfg"
@@ -28,18 +40,20 @@ import (
 
 func main() {
 	var (
-		bench  = flag.String("bench", "", "generated benchmark name")
-		kernel = flag.String("kernel", "", "built-in kernel name")
-		suite  = flag.Bool("suite", false, "characterize the whole suite")
-		values = flag.Bool("values", false, "value fanout/lifetime only")
-		iters  = flag.Int("iters", 50, "benchmark loop iterations")
-		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "benchmarks characterized in parallel (-suite)")
+		bench      = flag.String("bench", "", "generated benchmark name")
+		kernel     = flag.String("kernel", "", "built-in kernel name")
+		suite      = flag.Bool("suite", false, "characterize the whole suite")
+		values     = flag.Bool("values", false, "value fanout/lifetime only")
+		iters      = flag.Int("iters", 50, "benchmark loop iterations")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "benchmarks characterized in parallel (-suite)")
+		checkpoint = flag.String("checkpoint", "", "append finished suite reports to this JSONL file")
+		resume     = flag.Bool("resume", false, "reload finished reports from -checkpoint before running")
 	)
 	flag.Parse()
 
 	switch {
 	case *suite:
-		characterizeSuite(*iters, *values, *jobs)
+		characterizeSuite(*iters, *values, *jobs, *checkpoint, *resume)
 	case *bench != "":
 		prof, ok := workload.ProfileByName(*bench)
 		if !ok {
@@ -61,9 +75,59 @@ func main() {
 	}
 }
 
+// statRecord is one finished benchmark report in the -checkpoint JSONL. The
+// key fields guard against resuming a checkpoint taken with different
+// characterization parameters, which would silently mix reports.
+type statRecord struct {
+	Name       string `json:"name"`
+	Iters      int    `json:"iters"`
+	ValuesOnly bool   `json:"values_only"`
+	Report     string `json:"report"`
+}
+
+// loadStatCheckpoint returns the reports already finished, keyed by benchmark
+// name, skipping records whose parameters do not match. A torn final line —
+// a crash mid-append — is ignored.
+func loadStatCheckpoint(path string, iters int, valuesOnly bool) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]string{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	done := map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	tail := bytes.TrimRight(data, " \t\r\n")
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec statRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			if bytes.HasSuffix(tail, raw) {
+				break // torn final line from an interrupted append
+			}
+			return nil, fmt.Errorf("braidstat: corrupt checkpoint %s: %w", path, err)
+		}
+		if rec.Iters == iters && rec.ValuesOnly == valuesOnly {
+			done[rec.Name] = rec.Report
+		}
+	}
+	return done, sc.Err()
+}
+
 // characterizeSuite runs every profile through a bounded worker pool and
-// prints the reports in profile order, whatever order they finish in.
-func characterizeSuite(iters int, valuesOnly bool, jobs int) {
+// prints the reports in profile order, whatever order they finish in. A
+// panic while characterizing one benchmark is contained to that benchmark;
+// Ctrl-C stops workers from starting new benchmarks and exits without
+// printing a partial suite.
+func characterizeSuite(iters int, valuesOnly bool, jobs int, ckptPath string, resume bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	profs := workload.Profiles()
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -71,8 +135,34 @@ func characterizeSuite(iters int, valuesOnly bool, jobs int) {
 	if jobs > len(profs) {
 		jobs = len(profs)
 	}
+
 	reports := make([]string, len(profs))
 	errs := make([]error, len(profs))
+	var ckpt *os.File
+	var ckptMu sync.Mutex
+	if ckptPath != "" {
+		if resume {
+			done, err := loadStatCheckpoint(ckptPath, iters, valuesOnly)
+			if err != nil {
+				fatal(err)
+			}
+			restored := 0
+			for i, prof := range profs {
+				if r, ok := done[prof.Name]; ok {
+					reports[i] = r
+					restored++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "braidstat: resumed %d finished reports from %s\n", restored, ckptPath)
+		}
+		f, err := os.OpenFile(ckptPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		ckpt = f
+	}
+
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for k := 0; k < jobs; k++ {
@@ -80,20 +170,43 @@ func characterizeSuite(iters int, valuesOnly bool, jobs int) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				if ctx.Err() != nil {
+					continue // drain without starting new work
+				}
 				p, err := workload.Generate(profs[i], iters)
 				if err != nil {
 					errs[i] = err
 					continue
 				}
-				reports[i], errs[i] = report(p, valuesOnly)
+				reports[i], errs[i] = reportChecked(p, valuesOnly)
+				if errs[i] == nil && ckpt != nil {
+					rec := statRecord{Name: profs[i].Name, Iters: iters, ValuesOnly: valuesOnly, Report: reports[i]}
+					if data, err := json.Marshal(&rec); err == nil {
+						ckptMu.Lock()
+						ckpt.Write(append(data, '\n')) // one write: a crash tears at most the last line
+						ckptMu.Unlock()
+					}
+				}
 			}
 		}()
 	}
 	for i := range profs {
+		if reports[i] != "" {
+			continue // restored from the checkpoint
+		}
 		work <- i
 	}
 	close(work)
 	wg.Wait()
+
+	if ctx.Err() != nil {
+		msg := "braidstat: interrupted; no partial suite printed"
+		if ckptPath != "" {
+			msg += fmt.Sprintf(" (rerun with -checkpoint %s -resume to continue)", ckptPath)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(130)
+	}
 	for i, prof := range profs {
 		if errs[i] != nil {
 			fatal(fmt.Errorf("%s: %w", prof.Name, errs[i]))
@@ -108,6 +221,18 @@ func characterize(p *isa.Program, valuesOnly bool) {
 		fatal(err)
 	}
 	fmt.Print(s)
+}
+
+// reportChecked contains a panic in the characterization pipeline to the
+// benchmark that triggered it, so one bad program cannot kill the pool.
+func reportChecked(p *isa.Program, valuesOnly bool) (s string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s = ""
+			err = fmt.Errorf("characterization panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return report(p, valuesOnly)
 }
 
 // report builds one program's characterization text (§1 values, control

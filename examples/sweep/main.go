@@ -3,17 +3,25 @@
 // behave like 256, because internal values never touch it.
 //
 // The sweep points are declared up front and simulated concurrently (bounded
-// by -j workers); the bars print in declaration order either way.
+// by -j workers); the bars print in declaration order either way. A point
+// that blows its cycle budget or faults is reported and skipped — the other
+// bars still print — and Ctrl-C cancels the remaining points.
 //
 //	go run ./examples/sweep [-j N] [benchmark]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"os"
+	"os/signal"
 	"runtime"
 	"sync"
+	"syscall"
 
 	"braid/internal/braid"
 	"braid/internal/isa"
@@ -27,6 +35,7 @@ type point struct {
 	prog    *isa.Program
 	cfg     uarch.Config
 	ipc     float64
+	err     error // contained per-point failure; the bar prints as skipped
 }
 
 func main() {
@@ -36,6 +45,8 @@ func main() {
 	if flag.NArg() > 0 {
 		name = flag.Arg(0)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	prof, ok := workload.ProfileByName(name)
 	if !ok {
 		log.Fatalf("unknown benchmark %q", name)
@@ -61,7 +72,7 @@ func main() {
 		cfg.RFEntries = entries
 		oooPts = append(oooPts, &point{entries: entries, prog: prog, cfg: cfg})
 	}
-	if err := simulateAll(append(append([]*point{}, braidPts...), oooPts...), *jobs); err != nil {
+	if err := simulateAll(ctx, append(append([]*point{}, braidPts...), oooPts...), *jobs); err != nil {
 		log.Fatal(err)
 	}
 
@@ -72,8 +83,10 @@ func main() {
 	printBars(oooPts)
 }
 
-// simulateAll fills every point's IPC through a bounded worker pool.
-func simulateAll(pts []*point, jobs int) error {
+// simulateAll fills every point's IPC through a bounded worker pool. A
+// contained failure (simulator fault, cycle-budget exhaustion) marks its
+// point and the sweep continues; cancellation aborts the whole sweep.
+func simulateAll(ctx context.Context, pts []*point, jobs int) error {
 	if jobs < 1 {
 		jobs = 1
 	}
@@ -88,8 +101,17 @@ func simulateAll(pts []*point, jobs int) error {
 		go func() {
 			defer wg.Done()
 			for pt := range work {
-				st, err := uarch.Simulate(pt.prog, pt.cfg)
+				if ctx.Err() != nil {
+					continue // canceled: drain without simulating
+				}
+				st, err := uarch.SimulateChecked(ctx, pt.prog, pt.cfg)
 				if err != nil {
+					var sf *uarch.SimFault
+					if errors.As(err, &sf) || errors.Is(err, uarch.ErrCycleLimit) {
+						pt.ipc, pt.err = math.NaN(), err
+						fmt.Fprintf(os.Stderr, "sweep: skipping %d entries: %v\n", pt.entries, err)
+						continue
+					}
 					once.Do(func() { errs[0] = err })
 					continue
 				}
@@ -102,12 +124,19 @@ func simulateAll(pts []*point, jobs int) error {
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sweep interrupted: %w", err)
+	}
 	return errs[0]
 }
 
 func printBars(pts []*point) {
 	base := pts[0].ipc
 	for _, pt := range pts {
+		if pt.err != nil || math.IsNaN(pt.ipc) {
+			fmt.Printf("%4d entries: (skipped: %v)\n", pt.entries, pt.err)
+			continue
+		}
 		bar := ""
 		for i := 0.0; i < pt.ipc/base*40; i++ {
 			bar += "#"

@@ -141,7 +141,7 @@ func AblInternal(w *Workloads) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err := uarch.Simulate(res.Prog, uarch.BraidConfig(8))
+			st, err := w.Simulate(res.Prog, uarch.BraidConfig(8))
 			if err != nil {
 				return nil, err
 			}
@@ -181,7 +181,7 @@ func AblAlias(w *Workloads) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := uarch.Simulate(res.Prog, uarch.BraidConfig(8))
+		st, err := w.Simulate(res.Prog, uarch.BraidConfig(8))
 		if err != nil {
 			return nil, err
 		}
@@ -191,7 +191,7 @@ func AblAlias(w *Workloads) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err = uarch.Simulate(stripped, uarch.OutOfOrderConfig(8))
+		st, err = w.Simulate(stripped, uarch.OutOfOrderConfig(8))
 		if err != nil {
 			return nil, err
 		}

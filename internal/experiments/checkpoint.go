@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"braid/internal/uarch"
+)
+
+// checkpointWriter is the sink completed points are appended to.
+type checkpointWriter = *os.File
+
+// ckptRecord is one completed simulation in the append-only JSONL
+// checkpoint: the memo key plus its result. Go's JSON encoding round-trips
+// float64 and every Config field exactly, so a resumed point is bit-identical
+// to rerunning it (the simulator is deterministic). Only successes are
+// persisted — failures must re-execute so a fixed environment can pass.
+type ckptRecord struct {
+	Bench   string       `json:"bench"`
+	Braided bool         `json:"braided"`
+	IPC     float64      `json:"ipc"`
+	Cfg     uarch.Config `json:"cfg"`
+}
+
+// ckptDone is the shared pre-closed latch for restored memo cells.
+var ckptDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// OpenCheckpoint attaches an append-only JSONL checkpoint at path: every
+// simulation that completes from now on is persisted. With resume set, any
+// existing records are first loaded into the memo cache (the returned count),
+// so an interrupted or crashed sweep restarts from its completed points. A
+// torn final line — the signature of a mid-write crash — is ignored; any
+// other malformed line is an error.
+func (w *Workloads) OpenCheckpoint(path string, resume bool) (int, error) {
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	if w.ckptFile != nil {
+		return 0, fmt.Errorf("experiments: checkpoint already open")
+	}
+	restored := 0
+	if resume {
+		data, err := os.ReadFile(path)
+		switch {
+		case os.IsNotExist(err):
+			// Nothing to resume from; fresh start.
+		case err != nil:
+			return 0, err
+		default:
+			n, err := w.loadCheckpoint(data)
+			if err != nil {
+				return 0, fmt.Errorf("experiments: resuming %s: %w", path, err)
+			}
+			restored = n
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	w.ckptFile = f
+	return restored, nil
+}
+
+// CloseCheckpoint detaches and closes the checkpoint file, if any.
+func (w *Workloads) CloseCheckpoint() error {
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	if w.ckptFile == nil {
+		return nil
+	}
+	err := w.ckptFile.Close()
+	w.ckptFile = nil
+	return err
+}
+
+// loadCheckpoint replays JSONL records into the memo cache as finished
+// cells. Later duplicates of a key win (the file is append-only; a record is
+// only ever re-appended with the same deterministic value).
+func (w *Workloads) loadCheckpoint(data []byte) (int, error) {
+	restored := 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec ckptRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A torn tail from a crash mid-append is expected; anything
+			// before the last line is real corruption.
+			if isLastLine(data, raw) {
+				break
+			}
+			return restored, fmt.Errorf("line %d: %w", line, err)
+		}
+		key := memoKey{rec.Bench, rec.Braided, rec.Cfg}
+		w.mu.Lock()
+		if _, ok := w.memo[key]; !ok {
+			w.memo[key] = &memoCell{done: ckptDone, ipc: rec.IPC}
+			restored++
+		}
+		w.mu.Unlock()
+	}
+	if err := sc.Err(); err != nil {
+		return restored, err
+	}
+	return restored, nil
+}
+
+// isLastLine reports whether raw is the final non-empty line of data.
+func isLastLine(data, raw []byte) bool {
+	tail := bytes.TrimRight(data, " \t\r\n")
+	return bytes.HasSuffix(tail, raw)
+}
+
+// checkpointPoint appends one completed simulation. Injected-fault configs
+// never checkpoint (the Inject field is process-local and json-excluded, so
+// a resumed record could not reproduce the run).
+func (w *Workloads) checkpointPoint(key memoKey, ipc float64) {
+	if key.cfg.Inject != nil {
+		return
+	}
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	if w.ckptFile == nil {
+		return
+	}
+	rec := ckptRecord{Bench: key.bench, Braided: key.braided, IPC: ipc, Cfg: key.cfg}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return // Config is always marshalable; defensive only
+	}
+	// One Write call per record keeps lines whole even if the process dies
+	// mid-sweep; a torn line can only be the file's very last.
+	w.ckptFile.Write(append(data, '\n'))
+}

@@ -86,9 +86,14 @@ func Fig1(w *Workloads) (*Result, error) {
 		return nil, err
 	}
 	for _, b := range w.Benches {
-		base := ipc[Point{b, false, mk(4)}]
+		base, ok := ipc[Point{b, false, mk(4)}]
+		if !ok {
+			continue // contained failure: skip the row, keep the figure
+		}
 		for _, width := range []int{8, 16} {
-			r.Set(b.Name, b.FP, fmt.Sprintf("%d-wide", width), ipc[Point{b, false, mk(width)}]/base)
+			if v, ok := ipc[Point{b, false, mk(width)}]; ok {
+				r.Set(b.Name, b.FP, fmt.Sprintf("%d-wide", width), v/base)
+			}
 		}
 	}
 	r.AddClaim("8-wide speedup over 4-wide (avg)", 1.44, r.Average("8-wide", "all"))
@@ -187,9 +192,14 @@ func sweep(w *Workloads, r *Result, braided bool, baseline uarch.Config, series 
 		return err
 	}
 	for _, b := range w.Benches {
-		base := ipc[Point{b, braided, baseline}]
+		base, ok := ipc[Point{b, braided, baseline}]
+		if !ok {
+			continue // contained failure: skip the row, keep the sweep
+		}
 		for _, s := range series {
-			r.Set(b.Name, b.FP, s, ipc[Point{b, braided, mk(s)}]/base)
+			if v, ok := ipc[Point{b, braided, mk(s)}]; ok {
+				r.Set(b.Name, b.FP, s, v/base)
+			}
 		}
 	}
 	r.sortSeries(series)
@@ -301,9 +311,14 @@ func braidSweep(w *Workloads, r *Result, series []string, mk func(s string) uarc
 		return err
 	}
 	for _, b := range w.Benches {
-		base := ipc[Point{b, false, ooo8()}]
+		base, ok := ipc[Point{b, false, ooo8()}]
+		if !ok {
+			continue // contained failure: skip the row, keep the sweep
+		}
 		for _, s := range series {
-			r.Set(b.Name, b.FP, s, ipc[Point{b, true, mk(s)}]/base)
+			if v, ok := ipc[Point{b, true, mk(s)}]; ok {
+				r.Set(b.Name, b.FP, s, v/base)
+			}
 		}
 	}
 	r.sortSeries(series)
@@ -414,10 +429,15 @@ func Fig13(w *Workloads) (*Result, error) {
 		return nil, err
 	}
 	for _, b := range w.Benches {
-		base := ipc[Point{b, false, ooo8()}]
+		base, ok := ipc[Point{b, false, ooo8()}]
+		if !ok {
+			continue // contained failure: skip the row, keep the figure
+		}
 		for _, width := range []int{4, 8, 16} {
 			for _, e := range entries {
-				r.Set(b.Name, b.FP, fmt.Sprintf("%s/%dw", e.series, width), ipc[Point{b, e.braided, e.mk(width)}]/base)
+				if v, ok := ipc[Point{b, e.braided, e.mk(width)}]; ok {
+					r.Set(b.Name, b.FP, fmt.Sprintf("%s/%dw", e.series, width), v/base)
+				}
 			}
 		}
 	}
@@ -469,7 +489,11 @@ func Pipeline(w *Workloads) (*Result, error) {
 		return nil, err
 	}
 	for _, b := range w.Benches {
-		r.Set(b.Name, b.FP, "short/long", ipc[Point{b, true, short}]/ipc[Point{b, true, long}])
+		lv, lok := ipc[Point{b, true, long}]
+		sv, sok := ipc[Point{b, true, short}]
+		if lok && sok {
+			r.Set(b.Name, b.FP, "short/long", sv/lv)
+		}
 	}
 	r.AddClaim("average speedup from shorter pipeline", 1.0219, r.Average("short/long", "all"))
 	return r, nil

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"braid/internal/braid"
 	"braid/internal/interp"
@@ -32,13 +35,30 @@ type Bench struct {
 // for concurrent use and duplicate-suppressing: when several goroutines ask
 // for the same (benchmark, braided, config) point, exactly one runs the
 // simulation and the rest wait for its result.
+//
+// The suite is fault-tolerant: simulations run through uarch.SimulateChecked
+// under the suite context (SetContext) with an optional per-simulation
+// deadline (SetTimeout), engine panics surface as contained *uarch.SimFault
+// errors with a crash artifact (SetCrashDir), transient failures are not
+// memoized (Retry reruns a point), and completed points can be persisted to
+// an append-only checkpoint (OpenCheckpoint) and reloaded across processes.
 type Workloads struct {
 	Benches []*Bench
 
 	jobs int // worker-pool width for IPCAll and EachBench
 
+	ctx        context.Context // base context for simulations (nil: Background)
+	simTimeout time.Duration   // per-simulation wall-clock deadline (0: none)
+	crashDir   string          // where *SimFault repro artifacts land ("" : off)
+
 	mu   sync.Mutex
 	memo map[memoKey]*memoCell
+
+	ckptMu   sync.Mutex
+	ckptFile checkpointWriter
+
+	failMu sync.Mutex
+	failed []PointFailure
 
 	simRuns   atomic.Uint64 // simulations actually executed (not memo hits)
 	simCycles atomic.Uint64 // machine cycles across executed simulations
@@ -82,6 +102,29 @@ func (w *Workloads) Jobs() int { return w.jobs }
 // one worker per processor.
 func (w *Workloads) SetJobs(n int) { w.jobs = defaultJobs(n) }
 
+// SetContext installs the base context every simulation runs under; cancel
+// it (e.g. from a Ctrl-C signal handler) to stop the whole suite. In-flight
+// simulations return errors wrapping uarch.ErrCanceled.
+func (w *Workloads) SetContext(ctx context.Context) { w.ctx = ctx }
+
+// SetTimeout bounds each individual simulation's wall-clock time; an expired
+// deadline surfaces as an error wrapping uarch.ErrTimeout and is treated as
+// transient (not memoized). Zero disables the deadline.
+func (w *Workloads) SetTimeout(d time.Duration) { w.simTimeout = d }
+
+// SetCrashDir selects where *uarch.SimFault repro artifacts (program image +
+// config JSON) are written; empty disables artifact writing. The directory
+// is created on first fault.
+func (w *Workloads) SetCrashDir(dir string) { w.crashDir = dir }
+
+// baseCtx resolves the suite context, defaulting to Background.
+func (w *Workloads) baseCtx() context.Context {
+	if w.ctx != nil {
+		return w.ctx
+	}
+	return context.Background()
+}
+
 // SimRuns reports how many simulations actually ran (memo misses); used by
 // tests to assert duplicate suppression.
 func (w *Workloads) SimRuns() uint64 { return w.simRuns.Load() }
@@ -106,11 +149,20 @@ func LoadSuite(dynTarget uint64) (*Workloads, error) {
 // means one worker per processor). The suite order is deterministic —
 // workload.Profiles order — regardless of which preparation finishes first.
 func LoadSuiteJobs(dynTarget uint64, jobs int) (*Workloads, error) {
+	return LoadSuiteCtx(context.Background(), dynTarget, jobs)
+}
+
+// LoadSuiteCtx is LoadSuiteJobs under a context: canceling ctx stops the
+// preparation between benchmarks (each in-flight preparation still finishes).
+func LoadSuiteCtx(ctx context.Context, dynTarget uint64, jobs int) (*Workloads, error) {
 	if dynTarget < 1000 {
 		return nil, fmt.Errorf("experiments: dynTarget %d too small", dynTarget)
 	}
-	w := &Workloads{memo: map[memoKey]*memoCell{}, jobs: defaultJobs(jobs)}
+	w := &Workloads{memo: map[memoKey]*memoCell{}, jobs: defaultJobs(jobs), ctx: ctx}
 	benches, err := parallelMap(w.jobs, workload.Profiles(), func(prof workload.Profile) (*Bench, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w: suite preparation stopped", prof.Name, uarch.ErrCanceled)
+		}
 		b, err := prepare(prof, dynTarget)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", prof.Name, err)
@@ -127,14 +179,24 @@ func LoadSuiteJobs(dynTarget uint64, jobs int) (*Workloads, error) {
 // parallelMap applies fn to every item through a bounded worker pool and
 // returns the results in input order. The first error wins; remaining items
 // still run (workers drain the queue) but their results are discarded.
+// Workers are panic-isolated: a panic in fn becomes that item's error
+// instead of crashing the process.
 func parallelMap[T, R any](jobs int, items []T, fn func(T) (R, error)) ([]R, error) {
+	run := func(it T) (r R, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("experiments: worker panic: %v\n%s", p, debug.Stack())
+			}
+		}()
+		return fn(it)
+	}
 	if jobs > len(items) {
 		jobs = len(items)
 	}
 	if jobs <= 1 {
 		out := make([]R, len(items))
 		for i, it := range items {
-			r, err := fn(it)
+			r, err := run(it)
 			if err != nil {
 				return nil, err
 			}
@@ -154,7 +216,7 @@ func parallelMap[T, R any](jobs int, items []T, fn func(T) (R, error)) ([]R, err
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				r, err := fn(items[i])
+				r, err := run(items[i])
 				if err != nil {
 					errOnce.Do(func() { firstEr = err })
 					continue
@@ -236,6 +298,9 @@ func prepare(prof workload.Profile, dynTarget uint64) (*Bench, error) {
 // IPC simulates one benchmark under cfg (braided selects the braid-compiled
 // binary) and caches the result. Safe for concurrent use: the first caller
 // of a point runs the simulation, concurrent duplicates block on its latch.
+// Engine panics come back as contained *uarch.SimFault errors; transient
+// failures (timeout, cancellation) are not memoized, so a later call may
+// retry the point.
 func (w *Workloads) IPC(b *Bench, braided bool, cfg uarch.Config) (float64, error) {
 	key := memoKey{b.Name, braided, cfg}
 	w.mu.Lock()
@@ -247,39 +312,110 @@ func (w *Workloads) IPC(b *Bench, braided bool, cfg uarch.Config) (float64, erro
 	c := &memoCell{done: make(chan struct{})}
 	w.memo[key] = c
 	w.mu.Unlock()
+	return w.runPoint(key, c, b, braided, cfg)
+}
 
+// runPoint executes the simulation an IPC call claimed and publishes the
+// result through its latch. Transient errors evict the cell afterwards —
+// waiters that already joined the latch still see the error, but the key is
+// not poisoned for the process lifetime.
+func (w *Workloads) runPoint(key memoKey, c *memoCell, b *Bench, braided bool, cfg uarch.Config) (float64, error) {
 	w.simRuns.Add(1)
 	p := b.Orig
 	if braided {
 		p = b.Braided
 	}
-	st, err := uarch.Simulate(p, cfg)
+	ctx := w.baseCtx()
+	cancel := func() {}
+	if w.simTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, w.simTimeout)
+	}
+	st, err := uarch.SimulateChecked(ctx, p, cfg)
+	cancel()
 	if err != nil {
 		c.err = fmt.Errorf("%s (%s braided=%v): %w", b.Name, cfg.Core, braided, err)
+		w.noteFailure(b, braided, cfg, c.err)
 	} else {
 		c.ipc = st.IPC()
 		w.simInstrs.Add(st.Retired)
 		w.simCycles.Add(st.Cycles)
+		w.checkpointPoint(key, c.ipc)
 	}
 	close(c.done)
+	if c.err != nil && Transient(c.err) {
+		w.mu.Lock()
+		if w.memo[key] == c {
+			delete(w.memo, key)
+		}
+		w.mu.Unlock()
+	}
 	return c.ipc, c.err
+}
+
+// Retry reruns one point: a finished memo cell (successful or failed) is
+// evicted first, so the simulation executes again; an in-flight cell is
+// joined instead of duplicated.
+func (w *Workloads) Retry(pt Point) (float64, error) {
+	key := memoKey{pt.Bench.Name, pt.Braided, pt.Cfg}
+	w.mu.Lock()
+	if c, ok := w.memo[key]; ok {
+		select {
+		case <-c.done:
+			delete(w.memo, key)
+		default:
+		}
+	}
+	w.mu.Unlock()
+	return w.IPC(pt.Bench, pt.Braided, pt.Cfg)
 }
 
 // IPCAll simulates every point through the bounded worker pool and returns
 // the IPC for each. Duplicate points (and points already memoized) cost one
 // simulation total. The map is keyed by the exact Point values passed in.
+//
+// Contained failures — a simulator fault, an exhausted cycle budget, a
+// per-simulation timeout — degrade gracefully: the failed point is omitted
+// from the map (and recorded in Failures()) while the rest of the sweep
+// completes. Only cancellation and infrastructure errors abort the batch.
 func (w *Workloads) IPCAll(points []Point) (map[Point]float64, error) {
-	ipcs, err := parallelMap(w.jobs, points, func(pt Point) (float64, error) {
-		return w.IPC(pt.Bench, pt.Braided, pt.Cfg)
+	type outcome struct {
+		ipc  float64
+		skip bool
+	}
+	outs, err := parallelMap(w.jobs, points, func(pt Point) (outcome, error) {
+		v, err := w.IPC(pt.Bench, pt.Braided, pt.Cfg)
+		if err != nil {
+			if Contained(err) {
+				return outcome{skip: true}, nil
+			}
+			return outcome{}, err
+		}
+		return outcome{ipc: v}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[Point]float64, len(points))
 	for i, pt := range points {
-		out[pt] = ipcs[i]
+		if !outs[i].skip {
+			out[pt] = outs[i].ipc
+		}
 	}
 	return out, nil
+}
+
+// Simulate runs one program/configuration through the suite's fault-tolerant
+// path — checked entry point, suite context, per-simulation deadline — with
+// no memoization. Ablations use it for compile-variant simulations whose
+// configs are never repeated.
+func (w *Workloads) Simulate(p *isa.Program, cfg uarch.Config) (*uarch.Stats, error) {
+	ctx := w.baseCtx()
+	cancel := func() {}
+	if w.simTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, w.simTimeout)
+	}
+	defer cancel()
+	return uarch.SimulateChecked(ctx, p, cfg)
 }
 
 // EachBench runs fn over every benchmark through the bounded worker pool and

@@ -147,6 +147,12 @@ type Config struct {
 	// individually. Results are identical either way (the equivalence
 	// tests assert it); this exists for those tests and for debugging.
 	NoFastForward bool
+
+	// Inject arms the test-only fault injector (see FaultPlan): one
+	// deliberate corruption of a pipeline structure, used with Paranoid to
+	// prove the checker detects it and RunChecked contains it. Excluded
+	// from checkpoints; never set outside tests.
+	Inject *FaultPlan `json:"-"`
 }
 
 // Validate checks internal consistency.

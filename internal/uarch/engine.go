@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -146,6 +147,10 @@ type Machine struct {
 	sinceException uint64
 	draining       bool
 	serializedLeft int
+
+	// injected latches the test-only fault injector (Config.Inject) after
+	// it has corrupted its target once.
+	injected bool
 }
 
 // New builds a machine for the program under the configuration.
@@ -183,19 +188,11 @@ func New(p *isa.Program, cfg Config) (*Machine, error) {
 	return m, nil
 }
 
-// Run simulates to completion and returns the statistics.
+// Run simulates to completion and returns the statistics. A MaxCycles
+// exhaustion wraps ErrCycleLimit; RunContext adds cancellation and deadlines
+// and RunChecked adds panic containment on top.
 func (m *Machine) Run() (*Stats, error) {
-	for {
-		if m.cycle >= m.cfg.MaxCycles {
-			return nil, fmt.Errorf("uarch: %s on %q exceeded %d cycles (fetched %d, retired %d, %d in flight — wedged machine or budget too small)",
-				m.cfg.Core, m.prog.Name, m.cfg.MaxCycles, m.stats.Fetched, m.stats.Retired, m.rob.len())
-		}
-		if m.step() {
-			break
-		}
-	}
-	m.stats.Cycles = m.cycle
-	return &m.stats, nil
+	return m.RunContext(context.Background())
 }
 
 // step simulates one machine cycle — plus any provably idle cycles
@@ -208,6 +205,9 @@ func (m *Machine) step() bool {
 	m.cre.issue(m, t)
 	m.dispatch(t)
 	m.fe.fetch(m, t)
+	if m.cfg.Inject != nil && !m.injected {
+		m.injectFault(t)
+	}
 	if m.cfg.Paranoid {
 		m.checkInvariants(t)
 	}

@@ -1,0 +1,223 @@
+package uarch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"braid/internal/isa"
+)
+
+// Typed simulation-failure sentinels. Callers distinguish them with
+// errors.Is and degrade gracefully — skip the point, keep the sweep —
+// instead of aborting a whole evaluation.
+var (
+	// ErrCycleLimit marks a simulation that exhausted Config.MaxCycles:
+	// either a wedged machine (a simulator bug) or a budget too small for
+	// the program.
+	ErrCycleLimit = errors.New("cycle limit exceeded")
+
+	// ErrTimeout marks a simulation that hit its wall-clock deadline
+	// (context.DeadlineExceeded on the run's context).
+	ErrTimeout = errors.New("simulation deadline exceeded")
+
+	// ErrCanceled marks a simulation stopped by whole-suite cancellation
+	// (context.Canceled on the run's context — e.g. Ctrl-C).
+	ErrCanceled = errors.New("simulation canceled")
+)
+
+// SimFault is a contained simulator failure: a panic raised by the engine or
+// its paranoid checker during a run, converted into an error by RunChecked so
+// one corrupt simulation cannot kill a whole sweep. It carries everything a
+// crash artifact needs to replay the failure.
+type SimFault struct {
+	Core    CoreKind
+	Program string
+	Cycle   uint64
+	Fetched uint64
+	Retired uint64
+	Panic   any
+	Stack   []byte
+}
+
+func (f *SimFault) Error() string {
+	return fmt.Sprintf("uarch: simulator fault: %s on %q at cycle %d (fetched %d, retired %d): %v",
+		f.Core, f.Program, f.Cycle, f.Fetched, f.Retired, f.Panic)
+}
+
+// ctxCheckInterval bounds how many engine steps run between context polls.
+// A step can fast-forward thousands of cycles, so the interval is counted in
+// step calls, not cycles; the first iteration always polls, so an
+// already-expired deadline or canceled context fails fast.
+const ctxCheckInterval = 256
+
+// RunContext simulates to completion like Run, polling ctx so a canceled or
+// deadline-expired context stops the simulation promptly. The returned error
+// wraps ErrCanceled or ErrTimeout respectively.
+func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
+	done := ctx.Done()
+	steps := 0
+	for {
+		if m.cycle >= m.cfg.MaxCycles {
+			return nil, fmt.Errorf("uarch: %s on %q %w: %d cycles (fetched %d, retired %d, %d in flight — wedged machine or budget too small)",
+				m.cfg.Core, m.prog.Name, ErrCycleLimit, m.cfg.MaxCycles, m.stats.Fetched, m.stats.Retired, m.rob.len())
+		}
+		if done != nil {
+			if steps%ctxCheckInterval == 0 {
+				select {
+				case <-done:
+					return nil, m.ctxErr(ctx)
+				default:
+				}
+			}
+			steps++
+		}
+		if m.step() {
+			break
+		}
+	}
+	m.stats.Cycles = m.cycle
+	return &m.stats, nil
+}
+
+// ctxErr converts a context failure into the matching typed sentinel,
+// annotated with where the simulation stopped.
+func (m *Machine) ctxErr(ctx context.Context) error {
+	sentinel := ErrCanceled
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		sentinel = ErrTimeout
+	}
+	return fmt.Errorf("uarch: %s on %q %w at cycle %d (fetched %d, retired %d)",
+		m.cfg.Core, m.prog.Name, sentinel, m.cycle, m.stats.Fetched, m.stats.Retired)
+}
+
+// RunChecked is the recoverable entry point: it runs the simulation under
+// ctx and converts an engine or paranoid-checker panic into a *SimFault
+// error instead of crashing the process. This is what suite runners use so
+// one corrupt configuration is a contained, replayable failure.
+func (m *Machine) RunChecked(ctx context.Context) (st *Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &SimFault{
+				Core:    m.cfg.Core,
+				Program: m.prog.Name,
+				Cycle:   m.cycle,
+				Fetched: m.stats.Fetched,
+				Retired: m.stats.Retired,
+				Panic:   r,
+				Stack:   debug.Stack(),
+			}
+		}
+	}()
+	return m.RunContext(ctx)
+}
+
+// SimulateChecked is Simulate with panic isolation and cancellation: run
+// program p on cfg under ctx, returning *SimFault for panics and errors
+// wrapping ErrTimeout/ErrCanceled for context failures.
+func SimulateChecked(ctx context.Context, p *isa.Program, cfg Config) (*Stats, error) {
+	m, err := New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunChecked(ctx)
+}
+
+// ---------------------------------------------------------------------------
+// Test-only fault injection: deliberately corrupt one microarchitectural
+// structure mid-run to prove the paranoid checker detects the corruption and
+// the runner contains it as a *SimFault. The injector lives in the engine so
+// it can reach the same state the checker audits.
+
+// FaultKind selects which structure the injector corrupts.
+type FaultKind int
+
+const (
+	FaultNone FaultKind = iota
+	// FaultBusyBit clears a busy BEU's busy bit without releasing its
+	// braid, desynchronizing the braid core's freeCnt shadow counter.
+	FaultBusyBit
+	// FaultCalendarDrop silently removes one pending entry from the
+	// completion calendar, leaving wbCount overstating the pending set.
+	FaultCalendarDrop
+	// FaultRefSkew forces the ROB head's reference count negative, the
+	// arena-corruption signature the checker guards against.
+	FaultRefSkew
+	// FaultPortStuck wedges the per-cycle read-port counter above the
+	// configured limit, as if a port arbiter failed to reset.
+	FaultPortStuck
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultBusyBit:
+		return "busy-bit"
+	case FaultCalendarDrop:
+		return "calendar-drop"
+	case FaultRefSkew:
+		return "refcount-skew"
+	case FaultPortStuck:
+		return "port-stuck"
+	}
+	return "fault?"
+}
+
+// FaultPlan arms the injector: at the first cycle >= AtCycle where the
+// targeted structure exists, corrupt it exactly once. Strictly test-only;
+// it is excluded from checkpoints (experiments tags the Config field out of
+// its JSON) and must never be set outside a test.
+type FaultPlan struct {
+	Kind    FaultKind
+	AtCycle uint64
+}
+
+// injectFault applies the armed fault plan at cycle t. It runs immediately
+// before the paranoid checker in step, so a successful corruption is audited
+// the same cycle it happens. Kinds whose target structure is empty this
+// cycle stay armed and retry on later cycles.
+func (m *Machine) injectFault(t uint64) {
+	pl := m.cfg.Inject
+	if t < pl.AtCycle {
+		return
+	}
+	switch pl.Kind {
+	case FaultBusyBit:
+		bc, ok := m.cre.(*braidCore)
+		if !ok {
+			m.injected = true // only the braid core has busy bits
+			return
+		}
+		for i := range bc.beus {
+			if bc.beus[i].busy {
+				bc.beus[i].busy = false
+				m.injected = true
+				return
+			}
+		}
+	case FaultCalendarDrop:
+		if m.wbCount == 0 {
+			return
+		}
+		for i := range m.wbcal {
+			if n := len(m.wbcal[i]); n > 0 {
+				m.wbcal[i] = m.wbcal[i][:n-1]
+				m.injected = true
+				return
+			}
+		}
+	case FaultRefSkew:
+		if m.rob.len() == 0 {
+			return
+		}
+		m.rob.front().refs = -1
+		m.injected = true
+	case FaultPortStuck:
+		m.readPortsUsed = m.cfg.RFReadPorts + 1
+		m.injected = true
+	default:
+		m.injected = true
+	}
+}

@@ -1,12 +1,65 @@
 package uarch
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"braid/internal/braid"
 	"braid/internal/interp"
 	"braid/internal/workload"
 )
+
+// FuzzMachine drives fuzzer-chosen random programs through a fuzzer-chosen
+// core and width, with the paranoid checker on and panics contained by
+// RunChecked. Any finding is a real engine bug: a wedged machine
+// (ErrCycleLimit), a checker-detected corruption (*SimFault), or a retirement
+// count that diverges from the architectural interpreter.
+func FuzzMachine(f *testing.F) {
+	f.Add(int64(1), byte(2), byte(1))
+	f.Add(int64(42), byte(3), byte(0))
+	f.Add(int64(100), byte(0), byte(2))
+	f.Add(int64(271828), byte(1), byte(1))
+	f.Fuzz(func(t *testing.T, seed int64, coreSel, widthSel byte) {
+		width := []int{4, 8, 16}[int(widthSel)%3]
+		p := workload.RandomProgram(seed)
+		fs, err := interp.RunProgram(p, 3_000_000)
+		if err != nil {
+			t.Skip("program rejected by the architectural interpreter")
+		}
+		var cfg Config
+		switch coreSel % 4 {
+		case 0:
+			cfg = InOrderConfig(width)
+		case 1:
+			cfg = DepSteerConfig(width)
+		case 2:
+			cfg = OutOfOrderConfig(width)
+		case 3:
+			cfg = BraidConfig(width)
+			res, err := braid.Compile(p, braid.Options{})
+			if err != nil {
+				t.Fatalf("seed %d: braiding: %v", seed, err)
+			}
+			p = res.Prog
+		}
+		cfg.Paranoid = true
+		cfg.MaxCycles = 3_000_000
+		st, err := SimulateChecked(context.Background(), p, cfg)
+		if err != nil {
+			var sf *SimFault
+			if errors.As(err, &sf) {
+				t.Fatalf("seed %d %s %dw: checker fault at cycle %d: %v\n%s",
+					seed, cfg.Core, width, sf.Cycle, sf.Panic, sf.Stack)
+			}
+			t.Fatalf("seed %d %s %dw: %v", seed, cfg.Core, width, err)
+		}
+		if st.Retired != fs.Steps {
+			t.Fatalf("seed %d %s %dw: retired %d, interpreter ran %d",
+				seed, cfg.Core, width, st.Retired, fs.Steps)
+		}
+	})
+}
 
 // TestRandomProgramsOnAllCores drives adversarial random programs through
 // every execution core. The timing model must retire exactly the dynamic
