@@ -81,8 +81,10 @@ func (w *Workloads) CloseCheckpoint() error {
 }
 
 // loadCheckpoint replays JSONL records into the memo cache as finished
-// cells. Later duplicates of a key win (the file is append-only; a record is
-// only ever re-appended with the same deterministic value).
+// cells, deduplicating repeated keys with last-write-wins: a kill → resume →
+// kill → resume cycle (or an explicit Retry) re-appends keys the file already
+// holds, and the newest record is the authoritative one. The restored count
+// is unique keys, not lines.
 func (w *Workloads) loadCheckpoint(data []byte) (int, error) {
 	restored := 0
 	sc := bufio.NewScanner(bytes.NewReader(data))
@@ -106,9 +108,9 @@ func (w *Workloads) loadCheckpoint(data []byte) (int, error) {
 		key := memoKey{rec.Bench, rec.Braided, rec.Cfg}
 		w.mu.Lock()
 		if _, ok := w.memo[key]; !ok {
-			w.memo[key] = &memoCell{done: ckptDone, ipc: rec.IPC}
 			restored++
 		}
+		w.memo[key] = &memoCell{done: ckptDone, ipc: rec.IPC}
 		w.mu.Unlock()
 	}
 	if err := sc.Err(); err != nil {

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -352,5 +354,85 @@ func TestFaultyPointsNotCheckpointed(t *testing.T) {
 	}
 	if len(data) != 0 {
 		t.Errorf("faulty point leaked into the checkpoint: %q", data)
+	}
+}
+
+// TestCheckpointDoubleResumeLastWins: a kill → resume → kill → resume cycle
+// appends keys the checkpoint already holds (here forced with Retry, which
+// re-executes a restored point). Reload must deduplicate repeated keys with
+// last-write-wins, counting unique keys — not lines — as restored.
+func TestCheckpointDoubleResumeLastWins(t *testing.T) {
+	w := testSuite(t)
+	b := w.Benches[0]
+	cfg := uarch.BraidConfig(8)
+	pt := Point{b, true, cfg}
+	ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+
+	first := &Workloads{Benches: w.Benches, memo: map[memoKey]*memoCell{}, jobs: 1}
+	if _, err := first.OpenCheckpoint(ckpt, false); err != nil {
+		t.Fatal(err)
+	}
+	want, err := first.IPC(b, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: resume, then re-execute the same point so the file
+	// gains a duplicate line for the key.
+	second := &Workloads{Benches: w.Benches, memo: map[memoKey]*memoCell{}, jobs: 1}
+	if restored, err := second.OpenCheckpoint(ckpt, true); err != nil || restored != 1 {
+		t.Fatalf("first resume: restored=%d err=%v, want 1, nil", restored, err)
+	}
+	if _, err := second.Retry(pt); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := len(bytes.Fields(data)); lines != 2 {
+		t.Fatalf("checkpoint holds %d records, want the key twice", lines)
+	}
+
+	// Append a forged newest record with a distinguishable value: if reload
+	// is last-write-wins, this is the value a third resume must serve.
+	forged := ckptRecord{Bench: b.Name, Braided: true, IPC: want + 1024, Cfg: cfg}
+	raw, err := json.Marshal(&forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(ckpt, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	third := &Workloads{Benches: w.Benches, memo: map[memoKey]*memoCell{}, jobs: 1}
+	restored, err := third.OpenCheckpoint(ckpt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.CloseCheckpoint()
+	if restored != 1 {
+		t.Fatalf("double resume restored %d, want 1 unique key", restored)
+	}
+	got, err := third.IPC(b, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want+1024 {
+		t.Errorf("resume served %v; last record (%v) must win", got, want+1024)
+	}
+	if runs := third.SimRuns(); runs != 0 {
+		t.Errorf("deduplicated resume still re-simulated %d points", runs)
 	}
 }

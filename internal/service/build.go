@@ -1,0 +1,255 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"braid/internal/asm"
+	"braid/internal/braid"
+	"braid/internal/isa"
+	"braid/internal/uarch"
+	"braid/internal/workload"
+)
+
+// SimRequest is the body of POST /v1/simulate: one program source (BRD64
+// assembly, a named workload profile, or a built-in kernel) plus a machine
+// configuration, either the core/width shorthand or a full uarch.Config.
+type SimRequest struct {
+	// Program source: exactly one of the three.
+	Asm      string `json:"asm,omitempty"`      // BRD64 assembly text
+	Workload string `json:"workload,omitempty"` // named synthetic profile (e.g. "gcc")
+	Kernel   string `json:"kernel,omitempty"`   // built-in kernel (e.g. "dot")
+	Iters    int    `json:"iters,omitempty"`    // workload loop iterations (default 100)
+
+	// Machine configuration shorthand, mirroring braidsim's flags.
+	Core       string `json:"core,omitempty"`  // inorder, dep, braid, ooo (default ooo)
+	Width      int    `json:"width,omitempty"` // issue width (default 8)
+	PerfectBP  bool   `json:"perfect_bp,omitempty"`
+	PerfectMem bool   `json:"perfect_mem,omitempty"`
+
+	// Config, when set, is the complete machine configuration and overrides
+	// the shorthand fields above.
+	Config *uarch.Config `json:"config,omitempty"`
+
+	// Braid forces the braid compiler on (true) or off (false) regardless
+	// of the core; unset, the program is braided exactly when the core is
+	// the braid core.
+	Braid *bool `json:"braid,omitempty"`
+
+	// MaxCycles caps the simulated cycle budget (bounded by the server's
+	// ceiling); TimeoutMS caps the wall-clock simulation time (bounded by
+	// the server's per-request deadline).
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// Built is a fully resolved simulation: the program to run, the validated
+// machine configuration, and the content hashes that key the result cache.
+type Built struct {
+	Program  *isa.Program
+	Config   uarch.Config
+	Braided  bool
+	ProgHash string
+	ConfHash string
+	Timeout  time.Duration // request-level wall-clock bound (0: server default)
+}
+
+// Key is the result-cache and coalescing key: requests that resolve to the
+// same program bytes and the same configuration are the same simulation.
+func (b *Built) Key() string { return b.ProgHash + ":" + b.ConfHash }
+
+// Limits bound what a single request may ask of the machine; the zero value
+// applies the package defaults.
+type Limits struct {
+	MaxCycles  uint64        // ceiling on a request's simulated cycles
+	MaxSimTime time.Duration // ceiling on a request's wall-clock simulation time
+}
+
+const (
+	defaultMaxCycles  = 50_000_000
+	defaultMaxSimTime = 30 * time.Second
+	defaultIters      = 100
+)
+
+// Build resolves a request into a runnable simulation: load or generate the
+// program, braid it if asked (or implied by the braid core), resolve and
+// validate the configuration, clamp it to the limits, and hash both halves.
+// Errors are client errors (bad input), except compile faults, which carry
+// *CompileFault.
+func Build(req *SimRequest, lim Limits) (*Built, error) {
+	if lim.MaxCycles == 0 {
+		lim.MaxCycles = defaultMaxCycles
+	}
+	if lim.MaxSimTime == 0 {
+		lim.MaxSimTime = defaultMaxSimTime
+	}
+	p, err := buildProgram(req)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := buildConfig(req)
+	if err != nil {
+		return nil, err
+	}
+
+	braided := cfg.Core == uarch.CoreBraid
+	if req.Braid != nil {
+		braided = *req.Braid
+	}
+	if braided && !alreadyBraided(p) {
+		res, err := compileBraid(p)
+		if err != nil {
+			return nil, err
+		}
+		p = res.Prog
+	}
+
+	if cfg.MaxCycles == 0 || cfg.MaxCycles > lim.MaxCycles {
+		cfg.MaxCycles = lim.MaxCycles
+	}
+	if req.MaxCycles > 0 && req.MaxCycles < cfg.MaxCycles {
+		cfg.MaxCycles = req.MaxCycles
+	}
+	cfg.Inject = nil // the fault injector is process-local and test-only
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+
+	var timeout time.Duration
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout <= 0 || timeout > lim.MaxSimTime {
+		timeout = lim.MaxSimTime
+	}
+
+	b := &Built{Program: p, Config: cfg, Braided: braided, Timeout: timeout}
+	if b.ProgHash, err = hashProgram(p); err != nil {
+		return nil, err
+	}
+	if b.ConfHash, err = hashConfig(&cfg); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func buildProgram(req *SimRequest) (*isa.Program, error) {
+	sources := 0
+	for _, set := range []bool{req.Asm != "", req.Workload != "", req.Kernel != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("request needs exactly one of asm, workload, kernel (got %d)", sources)
+	}
+	switch {
+	case req.Asm != "":
+		p, err := asm.Parse(req.Asm)
+		if err != nil {
+			return nil, fmt.Errorf("asm: %w", err)
+		}
+		return p, nil
+	case req.Workload != "":
+		prof, ok := workload.ProfileByName(req.Workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", req.Workload)
+		}
+		iters := req.Iters
+		if iters <= 0 {
+			iters = defaultIters
+		}
+		if iters > isa.ImmMax {
+			return nil, fmt.Errorf("iters %d above the ISA limit %d", iters, isa.ImmMax)
+		}
+		p, err := workload.Generate(prof, iters)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", req.Workload, err)
+		}
+		return p, nil
+	default:
+		p, ok := workload.KernelByName(req.Kernel)
+		if !ok {
+			return nil, fmt.Errorf("unknown kernel %q", req.Kernel)
+		}
+		return p, nil
+	}
+}
+
+func buildConfig(req *SimRequest) (uarch.Config, error) {
+	if req.Config != nil {
+		return *req.Config, nil
+	}
+	width := req.Width
+	if width <= 0 {
+		width = 8
+	}
+	var cfg uarch.Config
+	switch req.Core {
+	case "", "ooo":
+		cfg = uarch.OutOfOrderConfig(width)
+	case "inorder":
+		cfg = uarch.InOrderConfig(width)
+	case "dep":
+		cfg = uarch.DepSteerConfig(width)
+	case "braid":
+		cfg = uarch.BraidConfig(width)
+	default:
+		return uarch.Config{}, fmt.Errorf("unknown core %q (want inorder, dep, braid, ooo)", req.Core)
+	}
+	cfg.PerfectBP = req.PerfectBP
+	cfg.Mem.Perfect = req.PerfectMem
+	return cfg, nil
+}
+
+// CompileFault is a contained braid-compiler panic: the input program drove
+// the compiler into a bug, reported as a structured 422 rather than a dead
+// process.
+type CompileFault struct{ Panic any }
+
+func (f *CompileFault) Error() string { return fmt.Sprintf("braid compiler fault: %v", f.Panic) }
+
+func compileBraid(p *isa.Program) (res *braid.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CompileFault{Panic: r}
+		}
+	}()
+	res, err = braid.Compile(p, braid.Options{})
+	if err != nil {
+		err = fmt.Errorf("braid compile: %w", err)
+	}
+	return res, err
+}
+
+// alreadyBraided detects a program that carries braid ISA bits.
+func alreadyBraided(p *isa.Program) bool {
+	for i := range p.Instrs {
+		if p.Instrs[i].Start {
+			return true
+		}
+	}
+	return false
+}
+
+func hashProgram(p *isa.Program) (string, error) {
+	var buf bytes.Buffer
+	if err := isa.WriteImage(&buf, p); err != nil {
+		return "", fmt.Errorf("hashing program: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func hashConfig(cfg *uarch.Config) (string, error) {
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("hashing config: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"braid/internal/uarch"
+)
+
+// resultCache is a keyed LRU over successful simulation results. The
+// simulator is deterministic, so a (program hash, config hash) key fully
+// identifies the Stats it produces and a hit is bit-identical to rerunning.
+// Failures are never cached: a fault or limit must re-execute so a fixed
+// input or a raised budget can succeed.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	st  *uarch.Stats
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *resultCache) get(key string) (*uarch.Stats, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).st, true
+}
+
+func (c *resultCache) put(key string, st *uarch.Stats) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).st = st
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, st: st})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flight is one in-progress simulation that concurrent identical requests
+// coalesce onto: the leader runs it, followers wait on done and read the
+// shared outcome. Fields are written by the leader before done closes.
+type flight struct {
+	done  chan struct{}
+	st    *uarch.Stats
+	err   error
+	simMS float64
+}
+
+// flightGroup deduplicates concurrent simulations by cache key, in the
+// style of singleflight (stdlib-only, so hand-rolled here).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the flight for key and whether the caller is its leader
+// (first in, responsible for running the simulation and completing the
+// flight).
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fl, ok := g.m[key]; ok {
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	g.m[key] = fl
+	return fl, true
+}
+
+// complete publishes the leader's outcome and releases the followers. The
+// key is removed before done closes, so requests arriving after completion
+// start fresh (and hit the result cache on success).
+func (g *flightGroup) complete(key string, fl *flight, st *uarch.Stats, err error, simMS float64) {
+	fl.st, fl.err, fl.simMS = st, err, simMS
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(fl.done)
+}

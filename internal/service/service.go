@@ -1,0 +1,471 @@
+// Package service is the braid simulation service: a long-running HTTP/JSON
+// layer over the compiler and cycle-level simulator. It turns the library's
+// fault-containment machinery into service semantics — contained *SimFault
+// panics become structured 422s, context deadlines bound each request's
+// simulation, a bounded admission queue sheds overload with 429, identical
+// concurrent requests coalesce onto one run, and a deterministic-result LRU
+// answers repeats without simulating at all.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"braid/internal/uarch"
+)
+
+// Config sizes the server. Zero fields take the documented defaults.
+type Config struct {
+	Workers      int           // concurrent simulations (default GOMAXPROCS)
+	QueueDepth   int           // admitted-but-waiting requests beyond Workers (default 4*Workers)
+	CacheEntries int           // LRU result-cache capacity (default 1024; negative disables)
+	MaxCycles    uint64        // per-request simulated-cycle ceiling (default 50M)
+	MaxSimTime   time.Duration // per-request wall-clock ceiling (default 30s)
+	MaxBodyBytes int64         // request-body limit (default 8 MiB)
+	MaxBatch     int           // items allowed in one /v1/batch call (default 64)
+	AccessLog    io.Writer     // structured JSON access log (nil: disabled)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = defaultMaxCycles
+	}
+	if c.MaxSimTime <= 0 {
+		c.MaxSimTime = defaultMaxSimTime
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// Server implements the simulation service endpoints. Create one with New,
+// mount Handler on an http.Server, and call StartDrain before shutting the
+// http.Server down so load balancers see /healthz flip before connections
+// stop being accepted.
+type Server struct {
+	cfg      Config
+	adm      *admission
+	cache    *resultCache
+	flights  *flightGroup
+	met      *metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+	logMu    sync.Mutex
+
+	// testHookSimStart, when set, runs on the leader's goroutine after it
+	// holds a worker slot and before it simulates. Tests use it to hold the
+	// pool busy deterministically; never set outside tests.
+	testHookSimStart func(key string)
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		adm:     newAdmission(cfg.Workers, cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheEntries),
+		flights: newFlightGroup(),
+		met:     newMetrics(time.Now()),
+	}
+	s.met.m.Set("queue_depth", expvar.Func(func() any { return s.adm.waiting() }))
+	s.met.m.Set("workers_busy", expvar.Func(func() any { return s.adm.busy() }))
+	s.met.m.Set("cache_entries", expvar.Func(func() any { return s.cache.len() }))
+	s.met.m.Set("draining", expvar.Func(func() any { return s.draining.Load() }))
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler is the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain flips /healthz to 503 so load balancers stop routing here. The
+// actual drain — refusing new connections while in-flight requests finish —
+// is http.Server.Shutdown's job; call this first.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// SimResponse is the success body of POST /v1/simulate.
+type SimResponse struct {
+	Program     string       `json:"program"`
+	Core        string       `json:"core"`
+	Width       int          `json:"width"`
+	Braided     bool         `json:"braided"`
+	ProgramHash string       `json:"program_hash"`
+	ConfigHash  string       `json:"config_hash"`
+	IPC         float64      `json:"ipc"`
+	Stats       *uarch.Stats `json:"stats"`
+	Source      string       `json:"source"` // run, cache, or coalesced
+	SimMS       float64      `json:"sim_ms"` // leader's wall-clock simulation time
+}
+
+// ErrorBody is the error payload, wrapped as {"error": {...}}.
+type ErrorBody struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	Cycle   uint64 `json:"cycle,omitempty"` // where a contained fault or limit stopped
+}
+
+type errorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// simResult is what runSim hands back on success.
+type simResult struct {
+	st     *uarch.Stats
+	source string
+	simMS  float64
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad_request", Message: err.Error()})
+		return
+	}
+	b, err := Build(&req, Limits{MaxCycles: s.cfg.MaxCycles, MaxSimTime: s.cfg.MaxSimTime})
+	if err != nil {
+		status, body := buildErrorBody(err)
+		s.writeError(w, status, body)
+		return
+	}
+	res, err := s.runSim(r.Context(), b, true)
+	if err != nil {
+		status, body := simErrorBody(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", s.retryAfter())
+		}
+		s.writeError(w, status, body)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.response(b, res))
+}
+
+// BatchRequest is the body of POST /v1/batch: the requests run concurrently
+// through the same admission pool, but items wait for a queue position
+// instead of being shed, so one batch admits itself gradually rather than
+// tripping its own backpressure.
+type BatchRequest struct {
+	Requests []SimRequest `json:"requests"`
+}
+
+// BatchItem is one per-request outcome inside a BatchResponse.
+type BatchItem struct {
+	Status int          `json:"status"`
+	Result *SimResponse `json:"result,omitempty"`
+	Error  *ErrorBody   `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a /v1/batch reply; Items aligns with the
+// request order.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad_request", Message: err.Error()})
+		return
+	}
+	if len(req.Requests) == 0 || len(req.Requests) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest, ErrorBody{
+			Kind:    "bad_request",
+			Message: fmt.Sprintf("batch size must be 1..%d, got %d", s.cfg.MaxBatch, len(req.Requests)),
+		})
+		return
+	}
+	items := make([]BatchItem, len(req.Requests))
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := Build(&req.Requests[i], Limits{MaxCycles: s.cfg.MaxCycles, MaxSimTime: s.cfg.MaxSimTime})
+			if err != nil {
+				status, body := buildErrorBody(err)
+				items[i] = BatchItem{Status: status, Error: &body}
+				return
+			}
+			res, err := s.runSim(r.Context(), b, false)
+			if err != nil {
+				status, body := simErrorBody(err)
+				items[i] = BatchItem{Status: status, Error: &body}
+				return
+			}
+			resp := s.response(b, res)
+			items[i] = BatchItem{Status: http.StatusOK, Result: &resp}
+		}(i)
+	}
+	wg.Wait()
+	s.writeJSON(w, http.StatusOK, BatchResponse{Items: items})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, s.met.m.String())
+	io.WriteString(w, "\n")
+}
+
+// runSim resolves one built simulation: result cache, then coalescing onto
+// an identical in-progress run, then the admission queue and a worker slot,
+// then the simulator itself under the request deadline. shed selects
+// fail-fast admission (interactive requests) over waiting (batch items).
+func (s *Server) runSim(ctx context.Context, b *Built, shed bool) (*simResult, error) {
+	key := b.Key()
+	if st, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Add(1)
+		return &simResult{st: st, source: "cache"}, nil
+	}
+	s.met.cacheMiss.Add(1)
+
+	fl, leader := s.flights.join(key)
+	if !leader {
+		s.met.coalesced.Add(1)
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				return nil, fl.err
+			}
+			return &simResult{st: fl.st, source: "coalesced", simMS: fl.simMS}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	st, simMS, err := s.lead(ctx, key, b, shed)
+	s.flights.complete(key, fl, st, err, simMS)
+	if err != nil {
+		s.classifyFailure(err)
+		return nil, err
+	}
+	s.cache.put(key, st)
+	s.met.simRuns.Add(1)
+	s.met.simInstrs.Add(int64(st.Retired))
+	s.met.simCycles.Add(int64(st.Cycles))
+	s.met.simNanos.Add(int64(simMS * 1e6))
+	return &simResult{st: st, source: "run", simMS: simMS}, nil
+}
+
+// lead is the flight leader's path: pass admission, take a worker slot, and
+// simulate under the request's wall-clock deadline.
+func (s *Server) lead(ctx context.Context, key string, b *Built, shed bool) (*uarch.Stats, float64, error) {
+	if err := s.adm.admit(ctx, shed); err != nil {
+		return nil, 0, err
+	}
+	defer s.adm.releaseQueue()
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, 0, err
+	}
+	defer s.adm.releaseSlot()
+	if h := s.testHookSimStart; h != nil {
+		h(key)
+	}
+	simCtx, cancel := context.WithTimeout(ctx, b.Timeout)
+	defer cancel()
+	t0 := time.Now()
+	st, err := uarch.SimulateChecked(simCtx, b.Program, b.Config)
+	return st, float64(time.Since(t0).Nanoseconds()) / 1e6, err
+}
+
+func (s *Server) classifyFailure(err error) {
+	var fault *uarch.SimFault
+	switch {
+	case errors.As(err, &fault):
+		s.met.faults.Add(1)
+	case errors.Is(err, uarch.ErrCycleLimit):
+		s.met.cycleLim.Add(1)
+	case errors.Is(err, uarch.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		s.met.deadline.Add(1)
+	case errors.Is(err, uarch.ErrCanceled), errors.Is(err, context.Canceled):
+		s.met.canceled.Add(1)
+	case errors.Is(err, errOverloaded):
+		s.met.shed.Add(1)
+	}
+}
+
+// buildErrorBody maps a Build failure: bad input is 400, a contained
+// compiler panic is 422 (the request was well-formed; the service hit a
+// contained fault processing it).
+func buildErrorBody(err error) (int, ErrorBody) {
+	var cf *CompileFault
+	if errors.As(err, &cf) {
+		return http.StatusUnprocessableEntity, ErrorBody{Kind: "compile_fault", Message: cf.Error()}
+	}
+	return http.StatusBadRequest, ErrorBody{Kind: "bad_request", Message: err.Error()}
+}
+
+// simErrorBody maps a simulation failure to its HTTP shape: contained
+// faults and exhausted cycle budgets are structured 422s, overload is 429,
+// a wall-clock deadline is 504, everything else is 500.
+func simErrorBody(err error) (int, ErrorBody) {
+	var fault *uarch.SimFault
+	switch {
+	case errors.As(err, &fault):
+		return http.StatusUnprocessableEntity, ErrorBody{
+			Kind:    "sim_fault",
+			Message: fault.Error(),
+			Cycle:   fault.Cycle,
+		}
+	case errors.Is(err, uarch.ErrCycleLimit):
+		return http.StatusUnprocessableEntity, ErrorBody{Kind: "cycle_limit", Message: err.Error()}
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests, ErrorBody{Kind: "overloaded", Message: err.Error()}
+	case errors.Is(err, uarch.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, ErrorBody{Kind: "deadline", Message: err.Error()}
+	case errors.Is(err, uarch.ErrCanceled), errors.Is(err, context.Canceled):
+		// The client is gone; the status is for the access log's benefit.
+		return 499, ErrorBody{Kind: "canceled", Message: err.Error()}
+	default:
+		return http.StatusInternalServerError, ErrorBody{Kind: "internal", Message: err.Error()}
+	}
+}
+
+// retryAfter estimates when a shed client should try again: the queue ahead
+// of it, paced by the configured per-request ceiling, floored at one second.
+func (s *Server) retryAfter() string {
+	secs := int64(1)
+	if est := int64(s.cfg.MaxSimTime/time.Second) * int64(s.adm.waiting()+1) / int64(s.cfg.Workers); est > secs {
+		secs = est
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+func (s *Server) response(b *Built, res *simResult) SimResponse {
+	ipc := 0.0
+	if res.st.Cycles > 0 {
+		ipc = float64(res.st.Retired) / float64(res.st.Cycles)
+	}
+	return SimResponse{
+		Program:     b.Program.Name,
+		Core:        b.Config.Core.String(),
+		Width:       b.Config.IssueWidth,
+		Braided:     b.Braided,
+		ProgramHash: b.ProgHash,
+		ConfigHash:  b.ConfHash,
+		IPC:         ipc,
+		Stats:       res.st,
+		Source:      res.source,
+		SimMS:       res.simMS,
+	}
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, body ErrorBody) {
+	s.writeJSON(w, status, errorEnvelope{Error: body})
+}
+
+// statusWriter captures the status and size a handler wrote, for metrics
+// and the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	sw.status = status
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with request counting, per-endpoint latency
+// observation, and the structured access log.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		d := time.Since(t0)
+		s.met.observe(endpoint, sw.status, d)
+		s.accessLog(r, sw, d)
+	}
+}
+
+// accessLog emits one JSON line per request: timestamp, method, path,
+// status, latency, response size, and peer address.
+func (s *Server) accessLog(r *http.Request, sw *statusWriter, d time.Duration) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(map[string]any{
+		"ts":     time.Now().UTC().Format(time.RFC3339Nano),
+		"method": r.Method,
+		"path":   r.URL.Path,
+		"status": sw.status,
+		"ms":     float64(d.Nanoseconds()) / 1e6,
+		"bytes":  sw.bytes,
+		"remote": r.RemoteAddr,
+	})
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(append(line, '\n'))
+	s.logMu.Unlock()
+}

@@ -1,0 +1,494 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"braid/internal/uarch"
+)
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+type rawResponse struct {
+	Program string          `json:"program"`
+	Core    string          `json:"core"`
+	Braided bool            `json:"braided"`
+	IPC     float64         `json:"ipc"`
+	Source  string          `json:"source"`
+	Stats   json.RawMessage `json:"stats"`
+}
+
+// TestSimulateMatchesDirectRun is the service's determinism contract: the
+// Stats JSON served by POST /v1/simulate must be bit-identical to marshaling
+// a direct in-process uarch run of the same built request.
+func TestSimulateMatchesDirectRun(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for _, tc := range []string{
+		`{"workload":"gcc","iters":40,"core":"ooo","width":8}`,
+		`{"workload":"mcf","iters":40,"core":"braid","width":8}`,
+		`{"kernel":"dot","core":"inorder","width":4}`,
+	} {
+		var req SimRequest
+		if err := json.Unmarshal([]byte(tc), &req); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(&req, Limits{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc, err)
+		}
+		direct, err := uarch.Simulate(b.Program, b.Config)
+		if err != nil {
+			t.Fatalf("%s: direct run: %v", tc, err)
+		}
+		want, err := json.Marshal(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		resp, data := postJSON(t, ts.URL+"/v1/simulate", tc)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tc, resp.StatusCode, data)
+		}
+		var rr rawResponse
+		if err := json.Unmarshal(data, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, rr.Stats) {
+			t.Errorf("%s: served Stats differ from direct run:\n served: %s\n direct: %s", tc, rr.Stats, want)
+		}
+		if rr.Program != b.Program.Name {
+			t.Errorf("%s: program %q, want %q", tc, rr.Program, b.Program.Name)
+		}
+	}
+}
+
+// TestCacheServesRepeats: the second identical request is answered from the
+// LRU with the same bytes, and the hit shows up in /metrics.
+func TestCacheServesRepeats(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	const body = `{"workload":"gzip","iters":30,"core":"ooo"}`
+	_, first := postJSON(t, ts.URL+"/v1/simulate", body)
+	_, second := postJSON(t, ts.URL+"/v1/simulate", body)
+
+	var r1, r2 rawResponse
+	if err := json.Unmarshal(first, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Source != "run" || r2.Source != "cache" {
+		t.Fatalf("sources %q then %q, want run then cache", r1.Source, r2.Source)
+	}
+	if !bytes.Equal(r1.Stats, r2.Stats) {
+		t.Error("cached Stats differ from the original run")
+	}
+	if got := svc.met.cacheHits.Value(); got != 1 {
+		t.Errorf("cache_hits = %d, want 1", got)
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("third request failed")
+	}
+	_ = data
+	mresp, mdata := getURL(t, ts.URL+"/metrics")
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", mresp.StatusCode)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(mdata, &m); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	if hits, _ := m["cache_hits"].(float64); hits < 2 {
+		t.Errorf("/metrics cache_hits = %v, want >= 2", m["cache_hits"])
+	}
+}
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestQueueFullSheds429: with one worker and no queue slack, a request
+// arriving while the worker is busy is shed with 429 and a Retry-After
+// hint, and the in-flight request still completes.
+func TestQueueFullSheds429(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: -1})
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	svc.testHookSimStart = func(key string) {
+		started <- key
+		<-release
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+			strings.NewReader(`{"kernel":"dot","core":"ooo"}`))
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first request never reached the simulator")
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", `{"kernel":"fig2","core":"ooo"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d (%s), want 429", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Error.Kind != "overloaded" {
+		t.Errorf("429 body %s, want kind overloaded", data)
+	}
+
+	close(release)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d, want 200", code)
+	}
+	if svc.met.shed.Value() != 1 {
+		t.Errorf("shed_total = %d, want 1", svc.met.shed.Value())
+	}
+}
+
+// TestCoalescing: a request identical to one already in flight waits for
+// the leader's run instead of simulating again, and both get the same
+// Stats.
+func TestCoalescing(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 4})
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	svc.testHookSimStart = func(key string) {
+		started <- key
+		<-release
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	const body = `{"workload":"crafty","iters":25,"core":"braid"}`
+	type outcome struct {
+		code int
+		resp rawResponse
+	}
+	results := make(chan outcome, 2)
+	do := func() {
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			results <- outcome{code: -1}
+			return
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var rr rawResponse
+		json.Unmarshal(data, &rr)
+		results <- outcome{code: resp.StatusCode, resp: rr}
+	}
+	go do()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("leader never reached the simulator")
+	}
+	go do()
+	waitFor(t, func() bool { return svc.met.coalesced.Value() == 1 }, "follower never coalesced")
+	close(release)
+
+	a, b := <-results, <-results
+	if a.code != http.StatusOK || b.code != http.StatusOK {
+		t.Fatalf("statuses %d, %d; want 200, 200", a.code, b.code)
+	}
+	got := map[string]bool{a.resp.Source: true, b.resp.Source: true}
+	if !got["run"] || !got["coalesced"] {
+		t.Errorf("sources %q and %q, want one run and one coalesced", a.resp.Source, b.resp.Source)
+	}
+	if !bytes.Equal(a.resp.Stats, b.resp.Stats) {
+		t.Error("leader and follower Stats differ")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestGracefulDrain: after StartDrain, /healthz reports draining; a
+// shutdown initiated while a simulation is in flight waits for it, and the
+// request completes normally.
+func TestGracefulDrain(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	svc.testHookSimStart = func(key string) {
+		started <- key
+		<-release
+	}
+	ts := httptest.NewServer(svc.Handler())
+
+	slowDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+			strings.NewReader(`{"kernel":"matmul","core":"ooo"}`))
+		if err != nil {
+			slowDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		slowDone <- resp.StatusCode
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("request never reached the simulator")
+	}
+
+	svc.StartDrain()
+	hresp, _ := getURL(t, ts.URL+"/healthz")
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/healthz while draining: %d, want 503", hresp.StatusCode)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- ts.Config.Shutdown(context.Background()) }()
+	time.Sleep(20 * time.Millisecond) // let Shutdown begin refusing new work
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drain did not complete cleanly: %v", err)
+	}
+	if code := <-slowDone; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d during drain, want 200", code)
+	}
+}
+
+// TestCycleLimit422: an exhausted cycle budget is a structured 422, not a
+// 500, and is never cached.
+func TestCycleLimit422(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	const body = `{"workload":"gcc","iters":100,"core":"ooo","max_cycles":10}`
+	for i := 0; i < 2; i++ {
+		resp, data := postJSON(t, ts.URL+"/v1/simulate", body)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("status %d (%s), want 422", resp.StatusCode, data)
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Error.Kind != "cycle_limit" {
+			t.Errorf("kind %q, want cycle_limit", env.Error.Kind)
+		}
+	}
+	if svc.cache.len() != 0 {
+		t.Error("a failed simulation was cached")
+	}
+	if svc.met.cycleLim.Value() != 2 {
+		t.Errorf("cycle_limit_total = %d, want 2 (failures must not be cached)", svc.met.cycleLim.Value())
+	}
+}
+
+// TestBadRequests: malformed input is a 400 with a structured body.
+func TestBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New(Config{Workers: 1}).Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{`,
+		`{}`,
+		`{"workload":"gcc","kernel":"dot"}`,
+		`{"workload":"no-such-profile"}`,
+		`{"kernel":"dot","core":"no-such-core"}`,
+		`{"kernel":"dot","bogus_field":1}`,
+	} {
+		resp, data := postJSON(t, ts.URL+"/v1/simulate", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", body, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestBatch: a mixed batch returns per-item statuses in request order.
+func TestBatch(t *testing.T) {
+	ts := httptest.NewServer(New(Config{Workers: 2}).Handler())
+	defer ts.Close()
+
+	body := `{"requests":[
+		{"kernel":"dot","core":"ooo"},
+		{"workload":"no-such-profile"},
+		{"kernel":"dot","core":"ooo"}
+	]}`
+	resp, data := postJSON(t, ts.URL+"/v1/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Items) != 3 {
+		t.Fatalf("%d items, want 3", len(br.Items))
+	}
+	wantStatus := []int{200, 400, 200}
+	for i, item := range br.Items {
+		if item.Status != wantStatus[i] {
+			t.Errorf("item %d: status %d, want %d", i, item.Status, wantStatus[i])
+		}
+	}
+	if br.Items[0].Result == nil || br.Items[2].Result == nil || br.Items[1].Error == nil {
+		t.Fatal("result/error bodies missing")
+	}
+	if br.Items[0].Result.Stats.Retired != br.Items[2].Result.Stats.Retired {
+		t.Error("identical batch items disagree")
+	}
+}
+
+// TestBuildKeyStability: the cache key is a pure function of program bytes
+// and configuration — identical requests collide, different ones do not.
+func TestBuildKeyStability(t *testing.T) {
+	mk := func(body string) *Built {
+		t.Helper()
+		var req SimRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(&req, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := mk(`{"workload":"gcc","iters":20,"core":"ooo","width":8}`)
+	b := mk(`{"workload":"gcc","iters":20,"core":"ooo","width":8}`)
+	if a.Key() != b.Key() {
+		t.Error("identical requests produced different keys")
+	}
+	for i, other := range []*Built{
+		mk(`{"workload":"gcc","iters":21,"core":"ooo","width":8}`),
+		mk(`{"workload":"gcc","iters":20,"core":"ooo","width":4}`),
+		mk(`{"workload":"gcc","iters":20,"core":"braid","width":8}`),
+		mk(`{"workload":"mcf","iters":20,"core":"ooo","width":8}`),
+	} {
+		if other.Key() == a.Key() {
+			t.Errorf("variant %d collides with the base key", i)
+		}
+	}
+}
+
+// TestLRUEviction pins the cache's bounded-memory contract.
+func TestLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	s1, s2, s3 := &uarch.Stats{Cycles: 1}, &uarch.Stats{Cycles: 2}, &uarch.Stats{Cycles: 3}
+	c.put("a", s1)
+	c.put("b", s2)
+	c.get("a") // a is now most recent
+	c.put("c", s3)
+	if _, ok := c.get("b"); ok {
+		t.Error("least-recently-used entry survived eviction")
+	}
+	if st, ok := c.get("a"); !ok || st.Cycles != 1 {
+		t.Error("recently-used entry evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("new entry missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+// TestSimFaultMapsTo422 pins the error mapping for contained simulator
+// faults (reachable in production via the paranoid checker; constructed
+// directly here since the injection API is deliberately not exposed over
+// HTTP).
+func TestSimFaultMapsTo422(t *testing.T) {
+	fault := &uarch.SimFault{Core: uarch.CoreOutOfOrder, Program: "p", Cycle: 42, Panic: "boom"}
+	status, body := simErrorBody(fmt.Errorf("wrapped: %w", fault))
+	if status != http.StatusUnprocessableEntity || body.Kind != "sim_fault" || body.Cycle != 42 {
+		t.Errorf("got %d %+v, want 422 sim_fault at cycle 42", status, body)
+	}
+	status, body = simErrorBody(fmt.Errorf("x: %w", uarch.ErrTimeout))
+	if status != http.StatusGatewayTimeout || body.Kind != "deadline" {
+		t.Errorf("timeout mapped to %d %q", status, body.Kind)
+	}
+	status, _ = simErrorBody(errOverloaded)
+	if status != http.StatusTooManyRequests {
+		t.Errorf("overload mapped to %d", status)
+	}
+}
+
+// TestLatencyHistQuantiles sanity-checks the log-bucket estimator: the
+// quantile is an upper bound within one power of two of the true value.
+func TestLatencyHistQuantiles(t *testing.T) {
+	h := &latencyHist{}
+	for i := 0; i < 99; i++ {
+		h.observe(1 * time.Millisecond)
+	}
+	h.observe(500 * time.Millisecond)
+	snap := h.snapshot()
+	p50 := snap["p50_ms"].(float64)
+	p99 := snap["p99_ms"].(float64)
+	if p50 < 1 || p50 > 2.1 {
+		t.Errorf("p50 = %v ms, want ~1-2", p50)
+	}
+	if p99 < 1 || p99 > 2.1 {
+		t.Errorf("p99 = %v ms, want ~1-2 (99 of 100 samples are 1ms)", p99)
+	}
+	if max := snap["max_ms"].(float64); max < 499 {
+		t.Errorf("max = %v ms, want ~500", max)
+	}
+}

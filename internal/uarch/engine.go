@@ -143,6 +143,12 @@ type Machine struct {
 	konataMax   int
 	konataCount int
 
+	// writeErr latches the first trace/Konata write failure. Later log
+	// output is suppressed and RunContext surfaces the error when the run
+	// finishes, so a broken sink (full disk, closed pipe) cannot silently
+	// truncate a pipeline log.
+	writeErr error
+
 	// §3.4 exception-mode state.
 	sinceException uint64
 	draining       bool
@@ -634,6 +640,15 @@ func (m *Machine) dispatch(t uint64) {
 
 // serializer is implemented by cores that support §3.4's exception mode.
 type serializer interface{ setSerialized(bool) }
+
+// noteWriteErr records the first failed trace/Konata write, tagged with the
+// sink it came from. The latch stops further log output (traceRetire and
+// konataRetire check writeErr) and RunContext turns it into a run error.
+func (m *Machine) noteWriteErr(sink string, err error) {
+	if err != nil && m.writeErr == nil {
+		m.writeErr = fmt.Errorf("%s: %w", sink, err)
+	}
+}
 
 // srcsReady checks operand availability at cycle t and counts the external
 // register-file read ports the issue would need (bypassed and internal

@@ -46,10 +46,12 @@ func (f *SimFault) Error() string {
 		f.Core, f.Program, f.Cycle, f.Fetched, f.Retired, f.Panic)
 }
 
-// ctxCheckInterval bounds how many engine steps run between context polls.
-// A step can fast-forward thousands of cycles, so the interval is counted in
-// step calls, not cycles; the first iteration always polls, so an
-// already-expired deadline or canceled context fails fast.
+// ctxCheckInterval bounds how many simulated cycles pass between context
+// polls. The budget is counted in cycles, not step calls: a single step can
+// fast-forward an arbitrarily long idle stretch, so a step-counted interval
+// would let one leap carry the machine far past a poll. The first iteration
+// always polls, so an already-expired deadline or canceled context fails
+// fast.
 const ctxCheckInterval = 256
 
 // RunContext simulates to completion like Run, polling ctx so a canceled or
@@ -57,27 +59,29 @@ const ctxCheckInterval = 256
 // wraps ErrCanceled or ErrTimeout respectively.
 func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 	done := ctx.Done()
-	steps := 0
+	var nextPoll uint64
 	for {
 		if m.cycle >= m.cfg.MaxCycles {
 			return nil, fmt.Errorf("uarch: %s on %q %w: %d cycles (fetched %d, retired %d, %d in flight — wedged machine or budget too small)",
 				m.cfg.Core, m.prog.Name, ErrCycleLimit, m.cfg.MaxCycles, m.stats.Fetched, m.stats.Retired, m.rob.len())
 		}
-		if done != nil {
-			if steps%ctxCheckInterval == 0 {
-				select {
-				case <-done:
-					return nil, m.ctxErr(ctx)
-				default:
-				}
+		if done != nil && m.cycle >= nextPoll {
+			select {
+			case <-done:
+				return nil, m.ctxErr(ctx)
+			default:
 			}
-			steps++
+			nextPoll = m.cycle + ctxCheckInterval
 		}
 		if m.step() {
 			break
 		}
 	}
 	m.stats.Cycles = m.cycle
+	if m.writeErr != nil {
+		return nil, fmt.Errorf("uarch: %s on %q: pipeline log write failed: %w",
+			m.cfg.Core, m.prog.Name, m.writeErr)
+	}
 	return &m.stats, nil
 }
 

@@ -11,37 +11,48 @@ import (
 // instructions (unlimited when max <= 0). Call before Run. The stages are
 // written at retirement using absolute cycle positioning, which Kanata
 // accepts.
+//
+// Write failures are not dropped: the first error stops further log output
+// and is surfaced by Run/RunChecked once the simulation finishes.
 func (m *Machine) SetKonata(w io.Writer, max int) {
 	m.konata = w
 	m.konataMax = max
-	fmt.Fprintf(w, "Kanata\t0004\n")
+	_, err := fmt.Fprintf(w, "Kanata\t0004\n")
+	m.noteWriteErr("konata", err)
 }
 
 func (m *Machine) konataRetire(d *dyn, t uint64) {
-	if m.konata == nil || (m.konataMax > 0 && m.konataCount >= m.konataMax) {
+	if m.konata == nil || m.writeErr != nil || (m.konataMax > 0 && m.konataCount >= m.konataMax) {
 		return
 	}
 	id := m.konataCount
 	m.konataCount++
 	w := m.konata
-	fmt.Fprintf(w, "C=\t%d\n", d.fetchCycle)
-	fmt.Fprintf(w, "I\t%d\t%d\t0\n", id, d.seq)
+	emit := func(format string, args ...any) {
+		if m.writeErr != nil {
+			return
+		}
+		_, err := fmt.Fprintf(w, format, args...)
+		m.noteWriteErr("konata", err)
+	}
+	emit("C=\t%d\n", d.fetchCycle)
+	emit("I\t%d\t%d\t0\n", id, d.seq)
 	label := d.in.String()
 	if d.beu >= 0 {
 		label = fmt.Sprintf("[beu %d] %s", d.beu, label)
 	}
-	fmt.Fprintf(w, "L\t%d\t0\t%s\n", id, label)
+	emit("L\t%d\t0\t%s\n", id, label)
 	stage := func(name string, from, to uint64) {
 		if to < from {
 			to = from
 		}
-		fmt.Fprintf(w, "C=\t%d\nS\t%d\t0\t%s\n", from, id, name)
-		fmt.Fprintf(w, "C=\t%d\nE\t%d\t0\t%s\n", to, id, name)
+		emit("C=\t%d\nS\t%d\t0\t%s\n", from, id, name)
+		emit("C=\t%d\nE\t%d\t0\t%s\n", to, id, name)
 	}
 	stage("F", d.fetchCycle, d.dispatchCycle)
 	stage("Ds", d.dispatchCycle, d.issueCycle)
 	stage("X", d.issueCycle, d.execDone)
 	stage("Wb", d.execDone, d.completeCycle)
 	stage("Cm", d.completeCycle, t)
-	fmt.Fprintf(w, "C=\t%d\nR\t%d\t%d\t0\n", t, id, id)
+	emit("C=\t%d\nR\t%d\t%d\t0\n", t, id, id)
 }

@@ -1,0 +1,99 @@
+package uarch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"braid/internal/asm"
+)
+
+// idleStretchSrc is a program whose execution contains a long, provably idle
+// stretch the fast-forward path will skip: a cold main-memory load miss
+// (the address lies beyond the pre-warmed first megabyte of the data space)
+// with every later instruction data-dependent on it.
+const idleStretchSrc = `
+.name idlestretch
+.data 1024
+	ldimm r0, #262143      ; doubled three times: ~2 MiB, cold in every cache
+	add   r0, r0, r0
+	add   r0, r0, r0
+	add   r0, r0, r0
+	ldq   r1, 0(r0)    !ac=1
+	add   r2, r1, #1
+	add   r3, r2, #2
+	add   r4, r3, #3
+	stq   r4, 8(r0)    !ac=2
+	halt
+`
+
+// TestCycleLimitInsideIdleStretch is the fast-forward clamp regression test:
+// a MaxCycles budget that lands inside a fast-forwardable idle stretch (and
+// at every other cycle of the run) must fire ErrCycleLimit at exactly the
+// configured bound, with the same observable failure state (the error string
+// reports fetched/retired/in-flight) as a machine that simulates every cycle
+// individually.
+func TestCycleLimitInsideIdleStretch(t *testing.T) {
+	p, err := asm.Parse(idleStretchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := OutOfOrderConfig(8)
+	cfg.Mem.MemLatency = 300 // one cold miss dominates the run
+
+	full, err := Simulate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.IdleCycles < 250 {
+		t.Fatalf("program has no long idle stretch to fast-forward (%d idle of %d cycles)",
+			full.IdleCycles, full.Cycles)
+	}
+
+	for lim := uint64(1); lim <= full.Cycles+5; lim++ {
+		ff := cfg
+		ff.MaxCycles = lim
+		noff := cfg
+		noff.MaxCycles = lim
+		noff.NoFastForward = true
+		fs, ferr := Simulate(p, ff)
+		ns, nerr := Simulate(p, noff)
+		if (ferr == nil) != (nerr == nil) {
+			t.Fatalf("limit %d: fast-forward err=%v, per-cycle err=%v", lim, ferr, nerr)
+		}
+		if ferr != nil {
+			if !errors.Is(ferr, ErrCycleLimit) {
+				t.Fatalf("limit %d: wrong error type: %v", lim, ferr)
+			}
+			if ferr.Error() != nerr.Error() {
+				t.Fatalf("limit %d: divergent failure state:\n  fast-forward: %v\n  per-cycle:    %v", lim, ferr, nerr)
+			}
+			continue
+		}
+		if fs.Cycles != ns.Cycles || fs.Retired != ns.Retired {
+			t.Fatalf("limit %d: divergent success: %d/%d cycles, %d/%d retired",
+				lim, fs.Cycles, ns.Cycles, fs.Retired, ns.Retired)
+		}
+	}
+}
+
+// TestCanceledContextStopsInsideIdleStretch: cancellation must be noticed on
+// the cycle-based poll cadence even when every step fast-forwards, i.e. a
+// pre-canceled context stops a run whose first real work is a huge leap.
+func TestCanceledContextStopsInsideIdleStretch(t *testing.T) {
+	p, err := asm.Parse(idleStretchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := OutOfOrderConfig(8)
+	cfg.Mem.MemLatency = 100000
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunContext(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled context returned %v, want ErrCanceled", err)
+	}
+}

@@ -12,15 +12,19 @@ import (
 // Columns: sequence number, static index, fetch / dispatch / issue /
 // execute-done / writeback / retire cycles, then the instruction. A braid
 // core additionally shows the owning BEU.
+//
+// Write failures are not dropped: the first error stops further trace output
+// and is surfaced by Run/RunChecked once the simulation finishes.
 func (m *Machine) SetTrace(w io.Writer, max int) {
 	m.trace = w
 	m.traceMax = max
-	fmt.Fprintf(w, "%6s %5s %7s %7s %7s %7s %7s %7s %4s  %s\n",
+	_, err := fmt.Fprintf(w, "%6s %5s %7s %7s %7s %7s %7s %7s %4s  %s\n",
 		"seq", "idx", "fetch", "disp", "issue", "done", "wb", "retire", "beu", "instruction")
+	m.noteWriteErr("trace", err)
 }
 
 func (m *Machine) traceRetire(d *dyn, t uint64) {
-	if m.trace == nil || (m.traceMax > 0 && m.traceCount >= m.traceMax) {
+	if m.trace == nil || m.writeErr != nil || (m.traceMax > 0 && m.traceCount >= m.traceMax) {
 		return
 	}
 	m.traceCount++
@@ -28,7 +32,8 @@ func (m *Machine) traceRetire(d *dyn, t uint64) {
 	if d.beu >= 0 {
 		beu = fmt.Sprintf("%d", d.beu)
 	}
-	fmt.Fprintf(m.trace, "%6d %5d %7d %7d %7d %7d %7d %7d %4s  %s\n",
+	_, err := fmt.Fprintf(m.trace, "%6d %5d %7d %7d %7d %7d %7d %7d %4s  %s\n",
 		d.seq, d.idx, d.fetchCycle, d.dispatchCycle, d.issueCycle,
 		d.execDone, d.completeCycle, t, beu, d.in.String())
+	m.noteWriteErr("trace", err)
 }

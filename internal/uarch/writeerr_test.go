@@ -1,0 +1,102 @@
+package uarch
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"braid/internal/workload"
+)
+
+// failingWriter accepts the first n writes and then fails every write with
+// err, modeling a pipe that closes or a disk that fills mid-run.
+type failingWriter struct {
+	n      int
+	err    error
+	writes int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.writes >= f.n {
+		return 0, f.err
+	}
+	f.writes++
+	return len(p), nil
+}
+
+var errSinkBroken = errors.New("sink broken")
+
+// TestTraceWriterErrorSurfaces: a failing trace sink must not be dropped on
+// the floor — Run reports the first write error even though the simulation
+// itself completed, and output stops at the failure.
+func TestTraceWriterErrorSurfaces(t *testing.T) {
+	k, _ := workload.KernelByName("dot")
+	for _, allowed := range []int{0, 1, 5} {
+		m, err := New(k, OutOfOrderConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw := &failingWriter{n: allowed, err: errSinkBroken}
+		m.SetTrace(fw, 0)
+		st, err := m.Run()
+		if err == nil {
+			t.Fatalf("allowed=%d: write failure did not surface", allowed)
+		}
+		if !errors.Is(err, errSinkBroken) {
+			t.Fatalf("allowed=%d: error %v does not wrap the writer's error", allowed, err)
+		}
+		if !strings.Contains(err.Error(), "trace") {
+			t.Errorf("allowed=%d: error %q does not name the trace sink", allowed, err)
+		}
+		if st != nil {
+			t.Errorf("allowed=%d: stats returned alongside the error", allowed)
+		}
+		if fw.writes != allowed {
+			t.Errorf("allowed=%d: writer saw %d successful writes; output must stop at the first failure", allowed, fw.writes)
+		}
+	}
+}
+
+// TestKonataWriterErrorSurfaces is the Kanata-log variant, through the
+// RunChecked entry point suite runners use.
+func TestKonataWriterErrorSurfaces(t *testing.T) {
+	k, _ := workload.KernelByName("fig2")
+	m, err := New(k, OutOfOrderConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetKonata(&failingWriter{n: 3, err: errSinkBroken}, 0)
+	st, err := m.RunChecked(context.Background())
+	if err == nil {
+		t.Fatal("konata write failure did not surface from RunChecked")
+	}
+	if !errors.Is(err, errSinkBroken) {
+		t.Fatalf("error %v does not wrap the writer's error", err)
+	}
+	if !strings.Contains(err.Error(), "konata") {
+		t.Errorf("error %q does not name the konata sink", err)
+	}
+	if st != nil {
+		t.Error("stats returned alongside the error")
+	}
+}
+
+// TestHealthyWritersStillSucceed pins the non-failing path: attaching both
+// logs to working sinks must not turn a good run into an error.
+func TestHealthyWritersStillSucceed(t *testing.T) {
+	k, _ := workload.KernelByName("dot")
+	m, err := New(k, OutOfOrderConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb, kb strings.Builder
+	m.SetTrace(&tb, 10)
+	m.SetKonata(&kb, 10)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("healthy writers broke the run: %v", err)
+	}
+	if tb.Len() == 0 || kb.Len() == 0 {
+		t.Error("no log output written")
+	}
+}
