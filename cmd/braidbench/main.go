@@ -11,11 +11,19 @@
 // with -resume replays the finished points and produces bit-identical output
 // without re-simulating them.
 //
+// -remote host1,host2 runs the simulations on a fleet of braidd backends
+// instead of in-process, routing each design point by its content key on a
+// consistent-hash ring with retry and failover; output, checkpoints, and
+// -resume behave identically to local runs. -hedge duplicates straggling
+// requests onto a second backend, and -remote-verify N re-simulates ~1 in N
+// points locally and requires the remote stats to match byte for byte.
+//
 // Usage:
 //
 //	braidbench [-exp id] [-dyn N] [-j N] [-md] [-list]
 //	braidbench -checkpoint sweep.jsonl            # interruptible sweep
 //	braidbench -checkpoint sweep.jsonl -resume    # pick up where it stopped
+//	braidbench -exp fig13 -remote 127.0.0.1:8091,127.0.0.1:8092 -hedge
 package main
 
 import (
@@ -28,10 +36,12 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"syscall"
 	"time"
 
 	"braid/internal/experiments"
+	"braid/internal/remote"
 	"braid/internal/uarch"
 )
 
@@ -55,6 +65,9 @@ func main() {
 		resume     = flag.Bool("resume", false, "reload finished points from -checkpoint before running")
 		crashDir   = flag.String("crashdir", "crashes", "directory for simulator-fault repro artifacts")
 		simTimeout = flag.Duration("sim-timeout", 0, "wall-clock budget per simulation (0: none)")
+		remoteList = flag.String("remote", "", "comma-separated braidd base URLs; simulations run on these backends")
+		hedge      = flag.Bool("hedge", false, "hedge slow remote requests onto a second backend (needs -remote)")
+		remoteVer  = flag.Int("remote-verify", 0, "cross-check sampled remote results against local simulation, ~1 in N points (needs -remote; 0: off)")
 	)
 	flag.Parse()
 
@@ -108,6 +121,28 @@ func main() {
 	w.SetContext(ctx)
 	w.SetTimeout(*simTimeout)
 	w.SetCrashDir(*crashDir)
+	var pool *remote.Pool
+	if *remoteList != "" {
+		var perr error
+		pool, perr = remote.NewPool(remote.Options{
+			Backends:    strings.Split(*remoteList, ","),
+			Hedge:       *hedge,
+			VerifyEvery: *remoteVer,
+			TimeoutMS:   simTimeout.Milliseconds(),
+		})
+		if perr == nil {
+			var down []string
+			if down, perr = pool.Ping(ctx); len(down) > 0 {
+				fmt.Fprintf(os.Stderr, "braidbench: unreachable backends (will fail over): %s\n", strings.Join(down, ","))
+			}
+		}
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "braidbench: %v\n", perr)
+			os.Exit(1)
+		}
+		w.SetRunner(pool)
+		fmt.Fprintf(os.Stderr, "braidbench: remote execution over %d backend(s)\n", len(pool.Backends()))
+	}
 	if *checkpoint != "" {
 		restored, err := w.OpenCheckpoint(*checkpoint, *resume)
 		if err != nil {
@@ -159,6 +194,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "braidbench: %d experiments, %d simulations, %v total\n",
 		len(todo), w.SimRuns(), time.Since(start).Round(time.Millisecond))
+	if pool != nil {
+		fmt.Fprintf(os.Stderr, "braidbench: remote pool: %s\n", pool)
+	}
 
 	if *throughput {
 		secs := time.Since(start).Seconds()

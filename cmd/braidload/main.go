@@ -1,15 +1,26 @@
-// Command braidload drives a running braidd with a concurrent request mix
-// and reports service-level throughput: requests/sec, latency quantiles,
-// and aggregate simulated MIPS. With -verify it also simulates every unique
-// request locally and demands bit-identical Stats JSON from the service —
-// the determinism contract the result cache depends on.
+// Command braidload drives one or more running braidd backends with a
+// concurrent request mix and reports service-level throughput: requests/sec,
+// latency quantiles, and aggregate simulated MIPS. With -verify it also
+// simulates every unique request locally and demands bit-identical Stats
+// JSON from the service — the determinism contract the result cache depends
+// on.
+//
+// With a single -addr, requests go straight at the backend (the classic
+// single-server load test). With a comma-separated list, braidload drives
+// the internal/remote pool: points route by consistent hash, retry with
+// backoff across backends, and optionally hedge stragglers with -hedge —
+// the same path braidbench -remote uses for distributed sweeps.
 //
 //	braidd -addr 127.0.0.1:8080 &
 //	braidload -addr http://127.0.0.1:8080 -c 32 -n 512 -verify -out BENCH_service_throughput.json
+//
+//	braidd -addr 127.0.0.1:8091 & braidd -addr 127.0.0.1:8092 &
+//	braidload -addr 127.0.0.1:8091,127.0.0.1:8092 -hedge -verify -out BENCH_remote_throughput.json
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,13 +34,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"braid/internal/isa"
+	"braid/internal/remote"
 	"braid/internal/service"
 	"braid/internal/uarch"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "http://127.0.0.1:8080", "braidd base URL")
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "comma-separated braidd base URLs (2+: drive the routing pool)")
 		conc      = flag.Int("c", 32, "concurrent clients")
 		total     = flag.Int("n", 512, "total requests")
 		iters     = flag.Int("iters", 60, "workload iterations per request")
@@ -39,6 +52,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 120*time.Second, "per-request client timeout")
 		wait      = flag.Duration("wait", 15*time.Second, "how long to wait for /healthz before starting")
 		verify    = flag.Bool("verify", false, "simulate each unique request locally and demand bit-identical Stats")
+		hedge     = flag.Bool("hedge", false, "hedge slow requests onto a second backend (pool mode)")
 		out       = flag.String("out", "", "write the benchmark JSON here as well as stdout")
 	)
 	flag.Parse()
@@ -47,21 +61,29 @@ func main() {
 	if len(mix) == 0 {
 		log.Fatal("braidload: empty request mix")
 	}
+	addrs := splitList(*addr)
+	if len(addrs) == 0 {
+		log.Fatal("braidload: no -addr")
+	}
 	client := &http.Client{Timeout: *timeout}
-	if err := waitHealthy(client, *addr, *wait); err != nil {
-		log.Fatalf("braidload: %v", err)
-	}
 
-	var expected map[string][]byte
-	if *verify {
-		var err error
-		if expected, err = simulateLocally(mix); err != nil {
-			log.Fatalf("braidload: local verification run: %v", err)
+	var res *loadResult
+	if len(addrs) > 1 {
+		res = runPoolMode(addrs, mix, *conc, *total, *verify, *hedge, *timeout, *wait, client)
+	} else {
+		if err := waitHealthy(client, addrs[0], *wait); err != nil {
+			log.Fatalf("braidload: %v", err)
 		}
+		var expected map[string][]byte
+		if *verify {
+			var err error
+			if expected, err = simulateLocally(buildPrograms(mix)); err != nil {
+				log.Fatalf("braidload: local verification run: %v", err)
+			}
+		}
+		res = run(client, addrs[0], mix, *conc, *total, expected)
+		res.Metrics = map[string]any{addrs[0]: scrapeMetrics(client, addrs[0])}
 	}
-
-	res := run(client, *addr, mix, *conc, *total, expected)
-	res.Metrics = scrapeMetrics(client, *addr)
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -123,24 +145,48 @@ func waitHealthy(client *http.Client, addr string, wait time.Duration) error {
 	}
 }
 
-// simulateLocally runs every unique mix item through the same Build path
-// the service uses and records the exact Stats JSON a correct response must
-// carry.
-func simulateLocally(mix []mixItem) (map[string][]byte, error) {
-	expected := make(map[string][]byte, len(mix))
-	var mu sync.Mutex
+// builtItem is one unique request resolved to the exact program image and
+// configuration the service would build for it — what the pool routes on and
+// what local verification simulates.
+type builtItem struct {
+	key  string
+	prog *isa.Program
+	cfg  uarch.Config
+}
+
+// buildPrograms resolves every mix item through the same Build path the
+// service uses. Build is deterministic, so the client-side program is
+// byte-identical to the one the server would construct from the name.
+func buildPrograms(mix []mixItem) []builtItem {
+	items := make([]builtItem, len(mix))
 	var wg sync.WaitGroup
-	errc := make(chan error, len(mix))
-	for _, it := range mix {
+	for i, it := range mix {
 		wg.Add(1)
-		go func(it mixItem) {
+		go func(i int, it mixItem) {
 			defer wg.Done()
 			b, err := service.Build(&it.req, service.Limits{})
 			if err != nil {
-				errc <- fmt.Errorf("%s: %w", it.key, err)
-				return
+				log.Fatalf("braidload: building %s: %v", it.key, err)
 			}
-			st, err := uarch.Simulate(b.Program, b.Config)
+			items[i] = builtItem{key: it.key, prog: b.Program, cfg: b.Config}
+		}(i, it)
+	}
+	wg.Wait()
+	return items
+}
+
+// simulateLocally simulates every unique item in-process and records the
+// exact Stats JSON a correct response must carry.
+func simulateLocally(items []builtItem) (map[string][]byte, error) {
+	expected := make(map[string][]byte, len(items))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errc := make(chan error, len(items))
+	for _, it := range items {
+		wg.Add(1)
+		go func(it builtItem) {
+			defer wg.Done()
+			st, err := uarch.Simulate(it.prog, it.cfg)
 			if err != nil {
 				errc <- fmt.Errorf("%s: %w", it.key, err)
 				return
@@ -163,8 +209,10 @@ func simulateLocally(mix []mixItem) (map[string][]byte, error) {
 	return expected, nil
 }
 
-// loadResult is the benchmark artifact (BENCH_service_throughput.json).
+// loadResult is the benchmark artifact (BENCH_service_throughput.json,
+// BENCH_remote_throughput.json). server_metrics is keyed by backend URL.
 type loadResult struct {
+	Backends      []string       `json:"backends,omitempty"`
 	Concurrency   int            `json:"concurrency"`
 	Requests      int            `json:"requests"`
 	Errors        int            `json:"errors"`
@@ -179,7 +227,109 @@ type loadResult struct {
 	Instructions  uint64         `json:"sim_instructions"`
 	AggregateMIPS float64        `json:"aggregate_mips"`
 	Sources       map[string]int `json:"responses_by_source"`
+	ByBackend     map[string]int `json:"responses_by_backend,omitempty"`
+	Pool          *remote.Stats  `json:"pool,omitempty"`
 	Metrics       map[string]any `json:"server_metrics,omitempty"`
+}
+
+// runPoolMode drives the request mix through the internal/remote pool:
+// consistent-hash routing, retry/failover, and optional hedging across every
+// backend — the distributed analogue of the single-server burst.
+func runPoolMode(addrs []string, mix []mixItem, conc, total int, verify, hedge bool, timeout, wait time.Duration, client *http.Client) *loadResult {
+	ctx := context.Background()
+	pool, err := remote.NewPool(remote.Options{
+		Backends: addrs,
+		Hedge:    hedge,
+		Timeout:  timeout,
+	})
+	if err != nil {
+		log.Fatalf("braidload: %v", err)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		var down []string
+		down, err = pool.Ping(ctx)
+		if err == nil && len(down) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				log.Fatalf("braidload: %v", err)
+			}
+			log.Printf("braidload: backends still down after %s (will fail over): %s", wait, strings.Join(down, ","))
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	items := buildPrograms(mix)
+	var expected map[string][]byte
+	if verify {
+		if expected, err = simulateLocally(items); err != nil {
+			log.Fatalf("braidload: local verification run: %v", err)
+		}
+	}
+
+	var (
+		next      atomic.Int64
+		mu        sync.Mutex
+		latencies []float64
+		sources   = map[string]int{}
+		byBackend = map[string]int{}
+		res       = &loadResult{
+			Backends: pool.Backends(), Concurrency: conc, Requests: total,
+			Sources: sources, ByBackend: byBackend,
+		}
+		wg sync.WaitGroup
+	)
+	t0 := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				it := items[i%len(items)]
+				r0 := time.Now()
+				r, err := pool.SimulateFull(ctx, it.prog, it.cfg)
+				ms := float64(time.Since(r0).Nanoseconds()) / 1e6
+				mu.Lock()
+				latencies = append(latencies, ms)
+				if err != nil {
+					res.Errors++
+					log.Printf("braidload: %s: %v", it.key, err)
+				} else {
+					sources[r.Source]++
+					byBackend[r.Backend]++
+					if want, ok := expected[it.key]; ok {
+						res.Verified++
+						if !bytes.Equal(want, r.RawStats) {
+							res.Mismatches++
+							res.Errors++
+							log.Printf("braidload: %s: stats differ from local simulation", it.key)
+						}
+					}
+					res.Instructions += r.Stats.Retired
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Seconds = time.Since(t0).Seconds()
+	finish(res, latencies, total)
+	ps := pool.Snapshot()
+	res.Pool = &ps
+	res.Metrics = map[string]any{}
+	for _, b := range pool.Backends() {
+		if m := scrapeMetrics(client, b); m != nil {
+			res.Metrics[b] = m
+		}
+	}
+	return res
 }
 
 // verifyResponse is the response shape braidload decodes: Stats stays raw so
@@ -247,7 +397,12 @@ func run(client *http.Client, addr string, mix []mixItem, conc, total int, expec
 	}
 	wg.Wait()
 	res.Seconds = time.Since(t0).Seconds()
+	finish(res, latencies, total)
+	return res
+}
 
+// finish fills in the latency quantiles and rate figures of a completed run.
+func finish(res *loadResult, latencies []float64, total int) {
 	sort.Float64s(latencies)
 	quant := func(q float64) float64 {
 		if len(latencies) == 0 {
@@ -267,7 +422,6 @@ func run(client *http.Client, addr string, mix []mixItem, conc, total int, expec
 		res.RPS = float64(total) / res.Seconds
 		res.AggregateMIPS = float64(res.Instructions) / res.Seconds / 1e6
 	}
-	return res
 }
 
 func post(client *http.Client, addr string, body []byte) (*verifyResponse, error) {

@@ -14,6 +14,12 @@
 // JSONL file; Ctrl-C stops the pool without printing a partial suite, and
 // rerunning with -resume reloads the finished reports and only
 // recharacterizes the rest, producing identical output.
+//
+// -ipc appends each benchmark's simulated IPC (8-wide out-of-order and
+// braid) to its report; with -remote host1,host2 those simulations run on
+// braidd backends through the internal/remote pool (-hedge duplicates
+// stragglers, -remote-verify cross-checks a sample locally), producing
+// byte-identical output to local execution.
 package main
 
 import (
@@ -35,6 +41,8 @@ import (
 	"braid/internal/cfg"
 	"braid/internal/interp"
 	"braid/internal/isa"
+	"braid/internal/remote"
+	"braid/internal/uarch"
 	"braid/internal/workload"
 )
 
@@ -48,12 +56,46 @@ func main() {
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "benchmarks characterized in parallel (-suite)")
 		checkpoint = flag.String("checkpoint", "", "append finished suite reports to this JSONL file")
 		resume     = flag.Bool("resume", false, "reload finished reports from -checkpoint before running")
+		ipc        = flag.Bool("ipc", false, "append simulated IPC (8-wide o-o-o and braid) to each report; ignored with -values")
+		remoteList = flag.String("remote", "", "comma-separated braidd base URLs; -ipc simulations run on these backends")
+		hedge      = flag.Bool("hedge", false, "hedge slow remote requests onto a second backend (needs -remote)")
+		remoteVer  = flag.Int("remote-verify", 0, "cross-check sampled remote results against local simulation, ~1 in N (needs -remote; 0: off)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var sim simFunc
+	if *ipc && !*values {
+		sim = func(p *isa.Program, cfg uarch.Config) (*uarch.Stats, error) {
+			return uarch.SimulateChecked(ctx, p, cfg)
+		}
+		if *remoteList != "" {
+			pool, err := remote.NewPool(remote.Options{
+				Backends:    strings.Split(*remoteList, ","),
+				Hedge:       *hedge,
+				VerifyEvery: *remoteVer,
+			})
+			if err == nil {
+				var down []string
+				if down, err = pool.Ping(ctx); len(down) > 0 {
+					fmt.Fprintf(os.Stderr, "braidstat: unreachable backends (will fail over): %s\n", strings.Join(down, ","))
+				}
+			}
+			if err != nil {
+				fatal(err)
+			}
+			sim = func(p *isa.Program, cfg uarch.Config) (*uarch.Stats, error) {
+				return pool.Simulate(ctx, p, cfg)
+			}
+			defer func() { fmt.Fprintf(os.Stderr, "braidstat: remote pool: %s\n", pool) }()
+		}
+	}
+
 	switch {
 	case *suite:
-		characterizeSuite(*iters, *values, *jobs, *checkpoint, *resume)
+		characterizeSuite(ctx, *iters, *values, *jobs, *checkpoint, *resume, sim)
 	case *bench != "":
 		prof, ok := workload.ProfileByName(*bench)
 		if !ok {
@@ -63,32 +105,40 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		characterize(p, *values)
+		characterize(p, *values, sim)
 	case *kernel != "":
 		p, ok := workload.KernelByName(*kernel)
 		if !ok {
 			fatal(fmt.Errorf("unknown kernel %q", *kernel))
 		}
-		characterize(p, *values)
+		characterize(p, *values, sim)
 	default:
 		fatal(fmt.Errorf("need -bench, -kernel, or -suite"))
 	}
 }
 
+// simFunc executes one simulation for the -ipc report section: in-process by
+// default, through the remote pool with -remote. Both are deterministic and
+// return identical Stats, so reports are byte-identical either way.
+type simFunc func(p *isa.Program, cfg uarch.Config) (*uarch.Stats, error)
+
 // statRecord is one finished benchmark report in the -checkpoint JSONL. The
 // key fields guard against resuming a checkpoint taken with different
-// characterization parameters, which would silently mix reports.
+// characterization parameters, which would silently mix reports. IPC guards
+// the -ipc report section; records written without it resume only runs that
+// also omit it (remote vs local does not matter — the section is identical).
 type statRecord struct {
 	Name       string `json:"name"`
 	Iters      int    `json:"iters"`
 	ValuesOnly bool   `json:"values_only"`
+	IPC        bool   `json:"ipc,omitempty"`
 	Report     string `json:"report"`
 }
 
 // loadStatCheckpoint returns the reports already finished, keyed by benchmark
 // name, skipping records whose parameters do not match. A torn final line —
 // a crash mid-append — is ignored.
-func loadStatCheckpoint(path string, iters int, valuesOnly bool) (map[string]string, error) {
+func loadStatCheckpoint(path string, iters int, valuesOnly, ipc bool) (map[string]string, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return map[string]string{}, nil
@@ -112,7 +162,7 @@ func loadStatCheckpoint(path string, iters int, valuesOnly bool) (map[string]str
 			}
 			return nil, fmt.Errorf("braidstat: corrupt checkpoint %s: %w", path, err)
 		}
-		if rec.Iters == iters && rec.ValuesOnly == valuesOnly {
+		if rec.Iters == iters && rec.ValuesOnly == valuesOnly && rec.IPC == ipc {
 			done[rec.Name] = rec.Report
 		}
 	}
@@ -124,10 +174,7 @@ func loadStatCheckpoint(path string, iters int, valuesOnly bool) (map[string]str
 // panic while characterizing one benchmark is contained to that benchmark;
 // Ctrl-C stops workers from starting new benchmarks and exits without
 // printing a partial suite.
-func characterizeSuite(iters int, valuesOnly bool, jobs int, ckptPath string, resume bool) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
+func characterizeSuite(ctx context.Context, iters int, valuesOnly bool, jobs int, ckptPath string, resume bool, sim simFunc) {
 	profs := workload.Profiles()
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -142,7 +189,7 @@ func characterizeSuite(iters int, valuesOnly bool, jobs int, ckptPath string, re
 	var ckptMu sync.Mutex
 	if ckptPath != "" {
 		if resume {
-			done, err := loadStatCheckpoint(ckptPath, iters, valuesOnly)
+			done, err := loadStatCheckpoint(ckptPath, iters, valuesOnly, sim != nil)
 			if err != nil {
 				fatal(err)
 			}
@@ -178,9 +225,9 @@ func characterizeSuite(iters int, valuesOnly bool, jobs int, ckptPath string, re
 					errs[i] = err
 					continue
 				}
-				reports[i], errs[i] = reportChecked(p, valuesOnly)
+				reports[i], errs[i] = reportChecked(p, valuesOnly, sim)
 				if errs[i] == nil && ckpt != nil {
-					rec := statRecord{Name: profs[i].Name, Iters: iters, ValuesOnly: valuesOnly, Report: reports[i]}
+					rec := statRecord{Name: profs[i].Name, Iters: iters, ValuesOnly: valuesOnly, IPC: sim != nil, Report: reports[i]}
 					if data, err := json.Marshal(&rec); err == nil {
 						ckptMu.Lock()
 						ckpt.Write(append(data, '\n')) // one write: a crash tears at most the last line
@@ -215,8 +262,8 @@ func characterizeSuite(iters int, valuesOnly bool, jobs int, ckptPath string, re
 	}
 }
 
-func characterize(p *isa.Program, valuesOnly bool) {
-	s, err := report(p, valuesOnly)
+func characterize(p *isa.Program, valuesOnly bool, sim simFunc) {
+	s, err := report(p, valuesOnly, sim)
 	if err != nil {
 		fatal(err)
 	}
@@ -225,19 +272,20 @@ func characterize(p *isa.Program, valuesOnly bool) {
 
 // reportChecked contains a panic in the characterization pipeline to the
 // benchmark that triggered it, so one bad program cannot kill the pool.
-func reportChecked(p *isa.Program, valuesOnly bool) (s string, err error) {
+func reportChecked(p *isa.Program, valuesOnly bool, sim simFunc) (s string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s = ""
 			err = fmt.Errorf("characterization panic: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return report(p, valuesOnly)
+	return report(p, valuesOnly, sim)
 }
 
 // report builds one program's characterization text (§1 values, control
-// flow, Tables 1-3 braid statistics).
-func report(p *isa.Program, valuesOnly bool) (string, error) {
+// flow, Tables 1-3 braid statistics, and with -ipc the simulated IPC of the
+// 8-wide out-of-order and braid machines).
+func report(p *isa.Program, valuesOnly bool, sim simFunc) (string, error) {
 	var b strings.Builder
 	vs, err := interp.Characterize(p, 100_000_000)
 	if err != nil {
@@ -262,6 +310,17 @@ func report(p *isa.Program, valuesOnly bool) (string, error) {
 	}
 	st := ds.Stats()
 	b.WriteString(st.String())
+	if sim != nil {
+		ooo, err := sim(p, uarch.OutOfOrderConfig(8))
+		if err != nil {
+			return "", err
+		}
+		br, err := sim(res.Prog, uarch.BraidConfig(8))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "ipc: o-o-o/8w %.4f  braid/8w %.4f\n", ooo.IPC(), br.IPC())
+	}
 	return b.String(), nil
 }
 

@@ -53,8 +53,14 @@ func Contained(err error) bool {
 
 // Transient reports whether a simulation error may succeed on retry — a
 // timeout or a cancellation, not a deterministic fault or cycle-budget
-// exhaustion. Transient results are never memoized.
+// exhaustion. Errors that declare themselves transient (a remote pool's
+// backends-unavailable failure) count too. Transient results are never
+// memoized, so a recovered environment can rerun the point.
 func Transient(err error) bool {
+	var tr interface{ TransientError() bool }
+	if errors.As(err, &tr) && tr.TransientError() {
+		return true
+	}
 	return errors.Is(err, uarch.ErrTimeout) || errors.Is(err, uarch.ErrCanceled) ||
 		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }

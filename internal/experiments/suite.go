@@ -50,6 +50,7 @@ type Workloads struct {
 	ctx        context.Context // base context for simulations (nil: Background)
 	simTimeout time.Duration   // per-simulation wall-clock deadline (0: none)
 	crashDir   string          // where *SimFault repro artifacts land ("" : off)
+	runner     Runner          // simulation executor (nil: in-process uarch)
 
 	mu   sync.Mutex
 	memo map[memoKey]*memoCell
@@ -116,6 +117,29 @@ func (w *Workloads) SetTimeout(d time.Duration) { w.simTimeout = d }
 // config JSON) are written; empty disables artifact writing. The directory
 // is created on first fault.
 func (w *Workloads) SetCrashDir(dir string) { w.crashDir = dir }
+
+// Runner executes one simulation. The default runner is the in-process
+// simulator; installing a remote pool (internal/remote) makes every memoized
+// point and ablation run execute on braidd backends instead. A Runner must
+// be deterministic and must report failures in the local error taxonomy
+// (*uarch.SimFault, ErrCycleLimit, ErrTimeout, ErrCanceled) so memoization,
+// checkpointing, and Failures() accounting behave identically either way.
+type Runner interface {
+	Simulate(ctx context.Context, p *isa.Program, cfg uarch.Config) (*uarch.Stats, error)
+}
+
+// SetRunner installs the simulation executor; nil restores the in-process
+// simulator. Set it before starting a sweep, not during one.
+func (w *Workloads) SetRunner(r Runner) { w.runner = r }
+
+// simulate dispatches one run through the installed Runner, defaulting to
+// the checked in-process simulator.
+func (w *Workloads) simulate(ctx context.Context, p *isa.Program, cfg uarch.Config) (*uarch.Stats, error) {
+	if w.runner != nil {
+		return w.runner.Simulate(ctx, p, cfg)
+	}
+	return uarch.SimulateChecked(ctx, p, cfg)
+}
 
 // baseCtx resolves the suite context, defaulting to Background.
 func (w *Workloads) baseCtx() context.Context {
@@ -330,7 +354,7 @@ func (w *Workloads) runPoint(key memoKey, c *memoCell, b *Bench, braided bool, c
 	if w.simTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, w.simTimeout)
 	}
-	st, err := uarch.SimulateChecked(ctx, p, cfg)
+	st, err := w.simulate(ctx, p, cfg)
 	cancel()
 	if err != nil {
 		c.err = fmt.Errorf("%s (%s braided=%v): %w", b.Name, cfg.Core, braided, err)
@@ -407,7 +431,8 @@ func (w *Workloads) IPCAll(points []Point) (map[Point]float64, error) {
 // Simulate runs one program/configuration through the suite's fault-tolerant
 // path — checked entry point, suite context, per-simulation deadline — with
 // no memoization. Ablations use it for compile-variant simulations whose
-// configs are never repeated.
+// configs are never repeated. Like IPC, it executes through the installed
+// Runner, so it distributes too.
 func (w *Workloads) Simulate(p *isa.Program, cfg uarch.Config) (*uarch.Stats, error) {
 	ctx := w.baseCtx()
 	cancel := func() {}
@@ -415,7 +440,7 @@ func (w *Workloads) Simulate(p *isa.Program, cfg uarch.Config) (*uarch.Stats, er
 		ctx, cancel = context.WithTimeout(ctx, w.simTimeout)
 	}
 	defer cancel()
-	return uarch.SimulateChecked(ctx, p, cfg)
+	return w.simulate(ctx, p, cfg)
 }
 
 // EachBench runs fn over every benchmark through the bounded worker pool and

@@ -1,0 +1,172 @@
+package remote
+
+import (
+	"context"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"braid/internal/experiments"
+	"braid/internal/service"
+	"braid/internal/uarch"
+)
+
+// flakyProxy fronts a healthy braidd with injected failures: every third
+// simulate request is refused, alternating between a 429 with a Retry-After
+// hint and a raw connection reset. Health checks pass through untouched so
+// Ping sees a live fleet.
+type flakyProxy struct {
+	backend *httputil.ReverseProxy
+	seq     atomic.Int64
+	faults  atomic.Int64
+}
+
+func newFlakyProxy(t *testing.T, backendURL string) (*httptest.Server, *flakyProxy) {
+	t.Helper()
+	u, err := url.Parse(backendURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := &flakyProxy{backend: httputil.NewSingleHostReverseProxy(u)}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/simulate" {
+			if n := fp.seq.Add(1); n%3 == 0 {
+				fp.faults.Add(1)
+				if n%2 == 0 {
+					// A shed: the client must back off and retry.
+					w.Header().Set("Retry-After", "1")
+					w.WriteHeader(http.StatusTooManyRequests)
+				} else {
+					// A connection reset: the client must fail over.
+					hj, ok := w.(http.Hijacker)
+					if !ok {
+						w.WriteHeader(http.StatusInternalServerError)
+						return
+					}
+					conn, _, err := hj.Hijack()
+					if err == nil {
+						if tc, ok := conn.(*net.TCPConn); ok {
+							tc.SetLinger(0) // RST, not FIN
+						}
+						conn.Close()
+					}
+				}
+				return
+			}
+		}
+		fp.backend.ServeHTTP(w, r)
+	}))
+	return ts, fp
+}
+
+// TestFlakyBackendsConvergeBitIdentical is the distributed-execution
+// soak: a parallel experiment sweep over two braidd backends that shed and
+// reset connections on a third of their requests must converge — through
+// retries, failover, and hedging — to exactly the IPC values in-process
+// simulation produces, with zero contained failures and untouched
+// memoization accounting.
+func TestFlakyBackendsConvergeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed soak test")
+	}
+
+	var proxies []*flakyProxy
+	var urls []string
+	for i := 0; i < 2; i++ {
+		backend := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
+		defer backend.Close()
+		proxy, fp := newFlakyProxy(t, backend.URL)
+		defer proxy.Close()
+		proxies = append(proxies, fp)
+		urls = append(urls, proxy.URL)
+	}
+
+	pool, err := NewPool(Options{
+		Backends:    urls,
+		MaxAttempts: 16, // a third of requests fault; leave headroom to converge
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Hedge:       true,
+		HedgeFloor:  time.Millisecond,
+		VerifyEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := experiments.LoadSuiteJobs(1500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The points: a slice of the suite across both binaries, with duplicates
+	// so memoization is exercised under the remote runner too.
+	var points []experiments.Point
+	for _, b := range w.Benches[:6] {
+		for _, braided := range []bool{false, true} {
+			cfg := uarch.OutOfOrderConfig(8)
+			if braided {
+				cfg = uarch.BraidConfig(8)
+			}
+			points = append(points, experiments.Point{Bench: b, Braided: braided, Cfg: cfg})
+		}
+	}
+	points = append(points, points...) // duplicates: one simulation each, total
+	unique := len(points) / 2
+
+	// Ground truth, in-process.
+	want := make(map[experiments.Point]float64, unique)
+	for _, pt := range points[:unique] {
+		p := pt.Bench.Orig
+		if pt.Braided {
+			p = pt.Bench.Braided
+		}
+		st, err := uarch.SimulateChecked(context.Background(), p, pt.Cfg)
+		if err != nil {
+			t.Fatalf("local %s: %v", pt.Bench.Name, err)
+		}
+		want[pt] = st.IPC()
+	}
+
+	w.SetRunner(pool)
+	w.SetJobs(8)
+	got, err := w.IPCAll(points)
+	if err != nil {
+		t.Fatalf("remote sweep: %v", err)
+	}
+	for pt, wantIPC := range want {
+		gotIPC, ok := got[pt]
+		if !ok {
+			t.Errorf("%s braided=%v: missing from remote sweep", pt.Bench.Name, pt.Braided)
+			continue
+		}
+		if gotIPC != wantIPC || math.IsNaN(gotIPC) {
+			t.Errorf("%s braided=%v: remote IPC %v != local %v", pt.Bench.Name, pt.Braided, gotIPC, wantIPC)
+		}
+	}
+	if fails := w.Failures(); len(fails) > 0 {
+		t.Errorf("contained failures under flaky backends: %v", fails)
+	}
+	if runs := w.SimRuns(); runs != uint64(unique) {
+		t.Errorf("sim runs = %d, want %d (memoization must absorb duplicates)", runs, unique)
+	}
+
+	s := pool.Snapshot()
+	injected := proxies[0].faults.Load() + proxies[1].faults.Load()
+	if injected == 0 {
+		t.Fatal("the proxies never injected a fault; the soak proved nothing")
+	}
+	if s.Retries == 0 {
+		t.Error("no retries despite injected faults")
+	}
+	t.Logf("pool: %s; injected faults: %d", pool, injected)
+}

@@ -1,0 +1,607 @@
+// Package remote is the distributed-execution client for braidd: it fans a
+// design-space sweep's simulation points out across one or more braidd
+// backends. The pool routes each point by its (program image, configuration)
+// content hash over a consistent-hash ring, so a repeated point lands on the
+// backend whose result LRU already holds it; transient failures — 429
+// overload, 5xx, connection errors — retry with exponential backoff and
+// jitter (honoring Retry-After) and fail over around the ring, so a backend
+// killed mid-sweep costs latency, not the sweep; optional hedged requests
+// duplicate a straggler onto the next backend after the pool's observed p95;
+// and a verify mode cross-checks a deterministic sample of remote Stats
+// bit-for-bit against local simulation.
+//
+// The pool implements the experiments.Runner interface, so a Workloads suite
+// pointed at it keeps its memoization, checkpoint/resume, and Failures()
+// accounting unchanged: remote structured errors translate back into the
+// local taxonomy (*uarch.SimFault, ErrCycleLimit, ErrTimeout, ErrCanceled).
+package remote
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"braid/internal/isa"
+	"braid/internal/service"
+	"braid/internal/uarch"
+)
+
+// Options configures a Pool. Zero fields take the documented defaults.
+type Options struct {
+	Backends    []string      // braidd base URLs (required)
+	MaxAttempts int           // tries per point across backends (default max(4, 2*len(Backends)))
+	BaseBackoff time.Duration // first retry delay (default 50ms)
+	MaxBackoff  time.Duration // retry delay ceiling (default 2s)
+	Timeout     time.Duration // per-attempt HTTP timeout (default 2m)
+	TimeoutMS   int64         // per-request simulation deadline sent to the server (0: server default)
+	Hedge       bool          // duplicate stragglers onto the next backend
+	HedgeFloor  time.Duration // lower bound on the hedge delay (default 25ms)
+	VerifyEvery int           // locally re-simulate every point whose key hashes to 0 mod N (0: off)
+	Replicas    int           // virtual nodes per backend on the ring (default 64)
+	Client      *http.Client  // HTTP client (default: fresh client, per-attempt timeout via context)
+}
+
+// Pool routes simulation points to braidd backends.
+type Pool struct {
+	backends []string
+	ring     *ring
+	client   *http.Client
+	opt      Options
+
+	requests   atomic.Uint64
+	retries    atomic.Uint64
+	failovers  atomic.Uint64
+	hedges     atomic.Uint64
+	hedgeWins  atomic.Uint64
+	verified   atomic.Uint64
+	perBackend []atomic.Uint64 // successful responses per backend
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	latMu  sync.Mutex
+	latMS  [128]float64 // ring buffer of recent request latencies
+	latN   int          // valid entries
+	latPos int
+}
+
+// Stats is a snapshot of the pool's counters.
+type Stats struct {
+	Requests   uint64            `json:"requests"`
+	Retries    uint64            `json:"retries"`
+	Failovers  uint64            `json:"failovers"`
+	Hedges     uint64            `json:"hedges"`
+	HedgeWins  uint64            `json:"hedge_wins"`
+	Verified   uint64            `json:"verified"`
+	PerBackend map[string]uint64 `json:"per_backend"`
+}
+
+// Result is one successfully simulated point with its provenance.
+type Result struct {
+	Stats    *uarch.Stats
+	RawStats []byte // the exact Stats JSON bytes the backend served
+	Source   string // run, cache, or coalesced (server-side provenance)
+	Backend  string // base URL that answered
+	Attempts int    // HTTP attempts spent (1 = first try)
+	Hedged   bool   // answered by a hedge request
+	Verified bool   // cross-checked bit-for-bit against local simulation
+}
+
+// NewPool validates o and builds a routing pool.
+func NewPool(o Options) (*Pool, error) {
+	if len(o.Backends) == 0 {
+		return nil, errors.New("remote: no backends")
+	}
+	backends := make([]string, 0, len(o.Backends))
+	for _, b := range o.Backends {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if b == "" {
+			continue
+		}
+		if !strings.Contains(b, "://") {
+			b = "http://" + b
+		}
+		backends = append(backends, b)
+	}
+	if len(backends) == 0 {
+		return nil, errors.New("remote: no backends")
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 2 * len(backends)
+		if o.MaxAttempts < 4 {
+			o.MaxAttempts = 4
+		}
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	if o.HedgeFloor <= 0 {
+		o.HedgeFloor = 25 * time.Millisecond
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 64
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Pool{
+		backends:   backends,
+		ring:       newRing(backends, o.Replicas),
+		client:     client,
+		opt:        o,
+		perBackend: make([]atomic.Uint64, len(backends)),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}, nil
+}
+
+// Backends returns the normalized backend base URLs.
+func (p *Pool) Backends() []string { return append([]string(nil), p.backends...) }
+
+// Snapshot returns the pool's counters.
+func (p *Pool) Snapshot() Stats {
+	s := Stats{
+		Requests:   p.requests.Load(),
+		Retries:    p.retries.Load(),
+		Failovers:  p.failovers.Load(),
+		Hedges:     p.hedges.Load(),
+		HedgeWins:  p.hedgeWins.Load(),
+		Verified:   p.verified.Load(),
+		PerBackend: make(map[string]uint64, len(p.backends)),
+	}
+	for i, b := range p.backends {
+		s.PerBackend[b] = p.perBackend[i].Load()
+	}
+	return s
+}
+
+func (p *Pool) String() string {
+	s := p.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d requests, %d retries, %d failovers", s.Requests, s.Retries, s.Failovers)
+	if p.opt.Hedge {
+		fmt.Fprintf(&b, ", %d hedges (%d won)", s.Hedges, s.HedgeWins)
+	}
+	if p.opt.VerifyEvery > 0 {
+		fmt.Fprintf(&b, ", %d verified", s.Verified)
+	}
+	names := make([]string, 0, len(s.PerBackend))
+	for n := range s.PerBackend {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "; %s=%d", n, s.PerBackend[n])
+	}
+	return b.String()
+}
+
+// Ping requires at least one live backend, so a sweep pointed at a dead
+// fleet fails before suite preparation rather than after. Unreachable
+// backends are tolerated (the ring fails over around them) and reported.
+func (p *Pool) Ping(ctx context.Context) (down []string, err error) {
+	up := 0
+	for _, b := range p.backends {
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		req, rerr := http.NewRequestWithContext(rctx, http.MethodGet, b+"/healthz", nil)
+		if rerr == nil {
+			var resp *http.Response
+			if resp, rerr = p.client.Do(req); rerr == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					rerr = fmt.Errorf("healthz status %d", resp.StatusCode)
+				}
+			}
+		}
+		cancel()
+		if rerr != nil {
+			down = append(down, b)
+		} else {
+			up++
+		}
+	}
+	if up == 0 {
+		return down, fmt.Errorf("remote: no live backend among %s", strings.Join(p.backends, ","))
+	}
+	return down, nil
+}
+
+// Simulate runs one point remotely, satisfying experiments.Runner: the
+// returned Stats and error taxonomy match uarch.SimulateChecked on a live
+// fleet, so memoization, Failures() accounting, and checkpointing behave
+// identically to local execution.
+func (p *Pool) Simulate(ctx context.Context, prog *isa.Program, cfg uarch.Config) (*uarch.Stats, error) {
+	r, err := p.SimulateFull(ctx, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Stats, nil
+}
+
+// SimulateFull is Simulate with provenance: which backend answered, how many
+// attempts it took, and whether the result was hedged or verified.
+func (p *Pool) SimulateFull(ctx context.Context, prog *isa.Program, cfg uarch.Config) (*Result, error) {
+	body, key, err := encodeRequest(prog, cfg, p.opt.TimeoutMS)
+	if err != nil {
+		return nil, err
+	}
+	p.requests.Add(1)
+	cands := p.ring.candidates(key)
+
+	var res *Result
+	if p.opt.Hedge && p.opt.MaxAttempts > 1 {
+		res, err = p.runHedged(ctx, key, body, cands)
+	} else {
+		res, err = p.runAttempts(ctx, key, body, cands, p.opt.MaxAttempts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.opt.VerifyEvery > 0 && hashKey(key)%uint64(p.opt.VerifyEvery) == 0 {
+		if err := p.verifyLocal(ctx, prog, cfg, res); err != nil {
+			return nil, err
+		}
+		res.Verified = true
+		p.verified.Add(1)
+	}
+	return res, nil
+}
+
+// encodeRequest serializes the exact program image and full configuration.
+// Sending the image (rather than a workload name) guarantees the backend
+// simulates the same bytes the caller would locally — iteration calibration,
+// braid compilation, and any local program surgery are all already baked in —
+// and makes the routing key identical for identical points everywhere.
+func encodeRequest(prog *isa.Program, cfg uarch.Config, timeoutMS int64) (body []byte, key string, err error) {
+	var img bytes.Buffer
+	if err := isa.WriteImage(&img, prog); err != nil {
+		return nil, "", fmt.Errorf("remote: encoding %q: %w", prog.Name, err)
+	}
+	cfg.Inject = nil // process-local and json-excluded; never meaningful remotely
+	cfgJSON, err := json.Marshal(&cfg)
+	if err != nil {
+		return nil, "", fmt.Errorf("remote: encoding config: %w", err)
+	}
+	progSum := sha256.Sum256(img.Bytes())
+	cfgSum := sha256.Sum256(cfgJSON)
+	key = hex.EncodeToString(progSum[:]) + ":" + hex.EncodeToString(cfgSum[:])
+
+	noBraid := false // the image is final; the backend must not recompile it
+	req := service.SimRequest{
+		Image:     base64.StdEncoding.EncodeToString(img.Bytes()),
+		Config:    &cfg,
+		Braid:     &noBraid,
+		TimeoutMS: timeoutMS,
+	}
+	body, err = json.Marshal(&req)
+	if err != nil {
+		return nil, "", fmt.Errorf("remote: encoding request: %w", err)
+	}
+	return body, key, nil
+}
+
+// runHedged races the normal attempt chain against a second chain started on
+// the next ring backend once the first has been in flight longer than the
+// pool's observed p95 latency. Identical concurrent requests coalesce on the
+// server, so even a same-backend hedge costs a queue slot, not a simulation.
+func (p *Pool) runHedged(ctx context.Context, key string, body []byte, cands []int) (*Result, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type out struct {
+		res *Result
+		err error
+		idx int
+	}
+	ch := make(chan out, 2)
+	primaryAttempts := p.opt.MaxAttempts - 1
+	if primaryAttempts < 1 {
+		primaryAttempts = 1
+	}
+	go func() {
+		r, err := p.runAttempts(hctx, key, body, cands, primaryAttempts)
+		ch <- out{r, err, 0}
+	}()
+	timer := time.NewTimer(p.hedgeDelay())
+	defer timer.Stop()
+	inflight, hedged := 1, false
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			inflight--
+			if o.err == nil {
+				if o.idx == 1 {
+					o.res.Hedged = true
+					p.hedgeWins.Add(1)
+				}
+				return o.res, nil
+			}
+			if firstErr == nil || o.idx == 0 {
+				firstErr = o.err
+			}
+			if inflight == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				p.hedges.Add(1)
+				rotated := append(append([]int(nil), cands[1:]...), cands[0])
+				inflight++
+				go func() {
+					r, err := p.runAttempts(hctx, key, body, rotated, 1)
+					ch <- out{r, err, 1}
+				}()
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("remote: %w", ctxSentinel(ctx))
+		}
+	}
+}
+
+// hedgeDelay is the pool's p95 observed latency, floored by HedgeFloor;
+// before enough samples accumulate it is a conservative fixed delay.
+func (p *Pool) hedgeDelay() time.Duration {
+	p.latMu.Lock()
+	n := p.latN
+	var sample []float64
+	if n >= 16 {
+		sample = append(sample, p.latMS[:n]...)
+	}
+	p.latMu.Unlock()
+	if sample == nil {
+		d := 250 * time.Millisecond
+		if d < p.opt.HedgeFloor {
+			d = p.opt.HedgeFloor
+		}
+		return d
+	}
+	sort.Float64s(sample)
+	p95 := sample[(len(sample)*95)/100]
+	d := time.Duration(p95 * float64(time.Millisecond))
+	if d < p.opt.HedgeFloor {
+		d = p.opt.HedgeFloor
+	}
+	return d
+}
+
+func (p *Pool) observeLatency(d time.Duration) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	p.latMu.Lock()
+	p.latMS[p.latPos] = ms
+	p.latPos = (p.latPos + 1) % len(p.latMS)
+	if p.latN < len(p.latMS) {
+		p.latN++
+	}
+	p.latMu.Unlock()
+}
+
+// runAttempts walks the candidate backends, retrying retryable failures with
+// exponential backoff + jitter and honoring Retry-After. Attempt k lands on
+// cands[k % len(cands)]: the consistent-hash owner first, then failover in
+// ring order, returning to the owner on later rounds in case it recovered.
+func (p *Pool) runAttempts(ctx context.Context, key string, body []byte, cands []int, maxAttempts int) (*Result, error) {
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			p.retries.Add(1)
+			if cands[attempt%len(cands)] != cands[(attempt-1)%len(cands)] {
+				p.failovers.Add(1)
+			}
+		}
+		backend := p.backends[cands[attempt%len(cands)]]
+		res, retryAfter, err := p.call(ctx, backend, body)
+		if err == nil {
+			res.Attempts = attempt + 1
+			p.perBackend[cands[attempt%len(cands)]].Add(1)
+			return res, nil
+		}
+		var re *retryableError
+		if !errors.As(err, &re) {
+			return nil, err // terminal: translated sim error, cancellation, ...
+		}
+		lastErr = re.err
+		if err := p.sleepBackoff(ctx, attempt, retryAfter); err != nil {
+			return nil, err
+		}
+	}
+	return nil, &Unavailable{Key: key, Attempts: maxAttempts, Last: lastErr}
+}
+
+// sleepBackoff waits out the exponential backoff (with ±50% jitter) or the
+// server's Retry-After hint, whichever the server asked for, respecting ctx.
+func (p *Pool) sleepBackoff(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	d := p.opt.BaseBackoff << uint(attempt)
+	if d > p.opt.MaxBackoff || d <= 0 {
+		d = p.opt.MaxBackoff
+	}
+	if retryAfter > 0 {
+		d = retryAfter
+		if d > p.opt.MaxBackoff {
+			d = p.opt.MaxBackoff // a long hint should not stall failover
+		}
+	}
+	p.rngMu.Lock()
+	jitter := 0.5 + p.rng.Float64() // 0.5x .. 1.5x
+	p.rngMu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("remote: %w", ctxSentinel(ctx))
+	}
+}
+
+// retryableError wraps a failure worth another attempt: overload, a 5xx, or
+// a transport error. Everything else is terminal.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// call performs one HTTP attempt against one backend.
+func (p *Pool) call(ctx context.Context, backend string, body []byte) (*Result, time.Duration, error) {
+	actx, cancel := context.WithTimeout(ctx, p.opt.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, backend+"/v1/simulate", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("remote: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, 0, fmt.Errorf("remote: %w", ctxSentinel(ctx))
+		}
+		// Connection refused/reset, per-attempt timeout: try elsewhere.
+		return nil, 0, &retryableError{fmt.Errorf("%s: %w", backend, err)}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, 0, fmt.Errorf("remote: %w", ctxSentinel(ctx))
+		}
+		return nil, 0, &retryableError{fmt.Errorf("%s: reading response: %w", backend, err)}
+	}
+	if resp.StatusCode == http.StatusOK {
+		var sr struct {
+			Stats  json.RawMessage `json:"stats"`
+			Source string          `json:"source"`
+		}
+		if err := json.Unmarshal(data, &sr); err != nil || len(sr.Stats) == 0 {
+			return nil, 0, &retryableError{fmt.Errorf("%s: malformed response: %v", backend, err)}
+		}
+		st := new(uarch.Stats)
+		if err := json.Unmarshal(sr.Stats, st); err != nil {
+			return nil, 0, &retryableError{fmt.Errorf("%s: malformed stats: %w", backend, err)}
+		}
+		p.observeLatency(time.Since(t0))
+		raw := make([]byte, len(sr.Stats))
+		copy(raw, sr.Stats)
+		return &Result{Stats: st, RawStats: raw, Source: sr.Source, Backend: backend}, 0, nil
+	}
+	return nil, parseRetryAfter(resp), p.translateError(backend, resp.StatusCode, data)
+}
+
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.ParseInt(s, 10, 64); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// translateError maps a backend's structured error to the local simulation
+// error taxonomy, so experiments.Contained/Transient and braidbench's
+// Failures() accounting classify remote failures exactly like local ones.
+func (p *Pool) translateError(backend string, status int, data []byte) error {
+	var env struct {
+		Error struct {
+			Kind    string `json:"kind"`
+			Message string `json:"message"`
+			Cycle   uint64 `json:"cycle"`
+		} `json:"error"`
+	}
+	json.Unmarshal(data, &env) // best effort; an empty kind falls through below
+	switch env.Error.Kind {
+	case "sim_fault":
+		return fmt.Errorf("remote %s: %w", backend,
+			&uarch.SimFault{Cycle: env.Error.Cycle, Panic: env.Error.Message})
+	case "cycle_limit":
+		return fmt.Errorf("remote %s: %s: %w", backend, env.Error.Message, uarch.ErrCycleLimit)
+	case "deadline":
+		return fmt.Errorf("remote %s: %s: %w", backend, env.Error.Message, uarch.ErrTimeout)
+	case "compile_fault", "bad_request":
+		return fmt.Errorf("remote %s: status %d: %s", backend, status, env.Error.Message)
+	}
+	switch {
+	case status == http.StatusTooManyRequests || status >= 500:
+		return &retryableError{fmt.Errorf("%s: status %d: %s", backend, status, bytes.TrimSpace(data))}
+	default:
+		return fmt.Errorf("remote %s: status %d: %s", backend, status, bytes.TrimSpace(data))
+	}
+}
+
+// verifyLocal re-simulates the point in-process and demands the backend's
+// Stats bytes match a local marshal bit for bit — the determinism contract
+// distributed sweeps stand on.
+func (p *Pool) verifyLocal(ctx context.Context, prog *isa.Program, cfg uarch.Config, res *Result) error {
+	st, err := uarch.SimulateChecked(ctx, prog, cfg)
+	if err != nil {
+		return &VerifyError{Backend: res.Backend, Program: prog.Name,
+			Detail: fmt.Sprintf("local run failed where remote succeeded: %v", err)}
+	}
+	want, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(want, res.RawStats) {
+		return &VerifyError{Backend: res.Backend, Program: prog.Name,
+			Detail: fmt.Sprintf("remote %s != local %s", res.RawStats, want)}
+	}
+	return nil
+}
+
+// ctxSentinel maps a context failure onto the simulation error taxonomy.
+func ctxSentinel(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return uarch.ErrTimeout
+	}
+	return uarch.ErrCanceled
+}
+
+// Unavailable reports a point whose every attempt failed: the fleet is gone
+// or drowning. It is transient — the point may succeed once backends return —
+// so suite memo caches must not poison its key.
+type Unavailable struct {
+	Key      string
+	Attempts int
+	Last     error
+}
+
+func (u *Unavailable) Error() string {
+	return fmt.Sprintf("remote: all %d attempts failed (key %.16s…): %v", u.Attempts, u.Key, u.Last)
+}
+func (u *Unavailable) Unwrap() error { return u.Last }
+
+// TransientError marks Unavailable for experiments.Transient.
+func (u *Unavailable) TransientError() bool { return true }
+
+// VerifyError reports a remote result that differs from local simulation —
+// a broken determinism contract, never a skippable per-point failure.
+type VerifyError struct {
+	Backend string
+	Program string
+	Detail  string
+}
+
+func (v *VerifyError) Error() string {
+	return fmt.Sprintf("remote: verification failed for %q on %s: %s", v.Program, v.Backend, v.Detail)
+}

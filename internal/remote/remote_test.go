@@ -1,0 +1,441 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"braid/internal/experiments"
+	"braid/internal/isa"
+	"braid/internal/service"
+	"braid/internal/uarch"
+	"braid/internal/workload"
+)
+
+func mustKernel(t *testing.T, name string) *isa.Program {
+	t.Helper()
+	p, ok := workload.KernelByName(name)
+	if !ok {
+		t.Fatalf("kernel %q missing", name)
+	}
+	return p
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(backends, 64)
+	hits := make([]int, len(backends))
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		c1 := r.candidates(key)
+		c2 := r.candidates(key)
+		if len(c1) != len(backends) {
+			t.Fatalf("candidates(%q) = %v, want all %d backends", key, c1, len(backends))
+		}
+		seen := map[int]bool{}
+		for j, b := range c1 {
+			if b != c2[j] {
+				t.Fatalf("candidates(%q) not deterministic: %v vs %v", key, c1, c2)
+			}
+			if seen[b] {
+				t.Fatalf("candidates(%q) repeats backend %d: %v", key, b, c1)
+			}
+			seen[b] = true
+		}
+		hits[c1[0]]++
+	}
+	for i, n := range hits {
+		if n == 0 {
+			t.Errorf("backend %d owns no keys out of 1000: distribution %v", i, hits)
+		}
+	}
+}
+
+func TestRingOwnerStableAcrossFleetGrowth(t *testing.T) {
+	small := newRing([]string{"http://a:1", "http://b:1"}, 64)
+	big := newRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 64)
+	moved := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := small.candidates(key)[0], big.candidates(key)[0]
+		if before != after && after != 2 {
+			// Keys may move TO the new backend; moving between the two
+			// existing ones defeats the point of consistent hashing.
+			moved++
+		}
+	}
+	if moved > n/20 {
+		t.Errorf("%d/%d keys moved between surviving backends when one was added", moved, n)
+	}
+}
+
+func TestNewPoolNormalizesBackends(t *testing.T) {
+	p, err := NewPool(Options{Backends: []string{" 127.0.0.1:9 ", "http://x/", ""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Backends()
+	want := []string{"http://127.0.0.1:9", "http://x"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Backends() = %v, want %v", got, want)
+	}
+	if _, err := NewPool(Options{}); err == nil {
+		t.Error("NewPool with no backends did not fail")
+	}
+	if _, err := NewPool(Options{Backends: []string{"  ", ""}}); err == nil {
+		t.Error("NewPool with blank backends did not fail")
+	}
+}
+
+// fakeBackend returns canned Stats for every simulate call and counts hits.
+func fakeBackend(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	st, _ := json.Marshal(&uarch.Stats{Cycles: 100, Retired: 200})
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"stats":%s,"source":"run"}`, st)
+	}))
+}
+
+// TestRoutingStickiness: the same point always lands on the same backend, so
+// repeats hit that backend's result cache rather than fanning out.
+func TestRoutingStickiness(t *testing.T) {
+	var hits [3]atomic.Int64
+	var urls []string
+	for i := range hits {
+		ts := fakeBackend(t, &hits[i])
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+	pool, err := NewPool(Options{Backends: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, cfg := mustKernel(t, "dot"), uarch.OutOfOrderConfig(8)
+	for i := 0; i < 10; i++ {
+		if _, err := pool.Simulate(context.Background(), p, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owners := 0
+	for i := range hits {
+		if n := hits[i].Load(); n > 0 {
+			owners++
+			if n != 10 {
+				t.Errorf("owning backend %d served %d of 10 requests", i, n)
+			}
+		}
+	}
+	if owners != 1 {
+		t.Errorf("%d backends served one repeated point, want exactly 1", owners)
+	}
+	if got := pool.Snapshot().Requests; got != 10 {
+		t.Errorf("requests = %d, want 10", got)
+	}
+}
+
+// TestRetryHonors429: a shed backend with a Retry-After hint is retried (with
+// the hint capped by MaxBackoff, so a long hint cannot stall failover) until
+// it recovers.
+func TestRetryHonors429(t *testing.T) {
+	var calls atomic.Int64
+	st, _ := json.Marshal(&uarch.Stats{Cycles: 1, Retired: 1})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "30") // way beyond MaxBackoff
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprintf(w, `{"stats":%s,"source":"run"}`, st)
+	}))
+	defer ts.Close()
+
+	pool, err := NewPool(Options{
+		Backends:    []string{ts.URL},
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	res, err := pool.SimulateFull(context.Background(), mustKernel(t, "dot"), uarch.OutOfOrderConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two 429s then success)", res.Attempts)
+	}
+	if got := pool.Snapshot().Retries; got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Errorf("retry loop took %v; the 30s Retry-After hint was not capped", elapsed)
+	}
+}
+
+// TestFailoverAroundDeadBackend: a point owned by an unreachable backend
+// fails over in ring order and still succeeds.
+func TestFailoverAroundDeadBackend(t *testing.T) {
+	var hits atomic.Int64
+	live := fakeBackend(t, &hits)
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from now on
+
+	pool, err := NewPool(Options{
+		Backends:    []string{dead.URL, live.URL},
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run several distinct points so some are owned by the dead backend.
+	for _, k := range []string{"dot", "matmul", "fig2"} {
+		for w := 2; w <= 8; w *= 2 {
+			if _, err := pool.Simulate(context.Background(), mustKernel(t, k), uarch.OutOfOrderConfig(w)); err != nil {
+				t.Fatalf("%s/%d: %v", k, w, err)
+			}
+		}
+	}
+	s := pool.Snapshot()
+	if s.Failovers == 0 {
+		t.Error("no failovers recorded; every point landed on the live backend by luck?")
+	}
+	if s.PerBackend[pool.Backends()[0]] != 0 {
+		t.Error("dead backend recorded successful responses")
+	}
+	if s.PerBackend[pool.Backends()[1]] != 9 {
+		t.Errorf("live backend served %d of 9 points", s.PerBackend[pool.Backends()[1]])
+	}
+}
+
+// TestTerminalErrorsTranslate: structured backend failures come back in the
+// local error taxonomy with no retries burned.
+func TestTerminalErrorsTranslate(t *testing.T) {
+	for _, tc := range []struct {
+		kind   string
+		status int
+		check  func(error) bool
+		want   string
+	}{
+		{"sim_fault", 422, func(err error) bool {
+			var sf *uarch.SimFault
+			return errors.As(err, &sf) && sf.Cycle == 42 && experiments.Contained(err)
+		}, "a contained *uarch.SimFault at cycle 42"},
+		{"cycle_limit", 422, func(err error) bool {
+			return errors.Is(err, uarch.ErrCycleLimit) && experiments.Contained(err)
+		}, "ErrCycleLimit"},
+		{"deadline", 504, func(err error) bool {
+			return errors.Is(err, uarch.ErrTimeout) && experiments.Transient(err)
+		}, "a transient ErrTimeout"},
+		{"bad_request", 400, func(err error) bool {
+			return !experiments.Contained(err) && !experiments.Transient(err)
+		}, "a terminal error"},
+	} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(tc.status)
+			fmt.Fprintf(w, `{"error":{"kind":%q,"message":"boom","cycle":42}}`, tc.kind)
+		}))
+		pool, err := NewPool(Options{Backends: []string{ts.URL}, BaseBackoff: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = pool.Simulate(context.Background(), mustKernel(t, "dot"), uarch.OutOfOrderConfig(8))
+		if err == nil || !tc.check(err) {
+			t.Errorf("%s: got %v, want %s", tc.kind, err, tc.want)
+		}
+		if n := calls.Load(); n != 1 {
+			t.Errorf("%s: %d attempts, want 1 (terminal errors must not retry)", tc.kind, n)
+		}
+		ts.Close()
+	}
+}
+
+// TestAllBackendsDownIsTransient: exhausting every attempt yields Unavailable,
+// which the experiment layer treats as transient — the memo key is not
+// poisoned and a recovered fleet can rerun the point.
+func TestAllBackendsDownIsTransient(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	pool, err := NewPool(Options{
+		Backends:    []string{dead.URL},
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pool.Simulate(context.Background(), mustKernel(t, "dot"), uarch.OutOfOrderConfig(8))
+	var u *Unavailable
+	if !errors.As(err, &u) {
+		t.Fatalf("got %v, want *Unavailable", err)
+	}
+	if u.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", u.Attempts)
+	}
+	if !experiments.Transient(err) {
+		t.Error("Unavailable not classified transient")
+	}
+	if _, err := pool.Ping(context.Background()); err == nil {
+		t.Error("Ping succeeded against a dead fleet")
+	}
+}
+
+// TestHedgeWinsOnStraggler: a point owned by a stalled backend is answered by
+// the hedge on the next backend instead of waiting out the straggler.
+func TestHedgeWinsOnStraggler(t *testing.T) {
+	stall := make(chan struct{})
+	st, _ := json.Marshal(&uarch.Stats{Cycles: 7, Retired: 7})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		select {
+		case <-stall:
+		case <-r.Context().Done():
+			return
+		}
+		fmt.Fprintf(w, `{"stats":%s,"source":"run"}`, st)
+	}))
+	defer slow.Close()
+	defer close(stall) // LIFO: unblock the handler before Close waits on it
+	var fastHits atomic.Int64
+	fast := fakeBackend(t, &fastHits)
+	defer fast.Close()
+
+	pool, err := NewPool(Options{
+		Backends:   []string{slow.URL, fast.URL},
+		Hedge:      true,
+		HedgeFloor: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Search for a point the ring assigns to the slow backend, so the hedge
+	// deterministically goes to the fast one.
+	var prog = mustKernel(t, "dot")
+	var cfg uarch.Config
+	found := false
+	for w := 1; w <= 64 && !found; w++ {
+		cfg = uarch.OutOfOrderConfig(w)
+		if _, key, err := encodeRequest(prog, cfg, 0); err == nil && pool.ring.candidates(key)[0] == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no kernel/width combination routed to the slow backend")
+	}
+	done := make(chan error, 1)
+	var res *Result
+	go func() {
+		var err error
+		res, err = pool.SimulateFull(context.Background(), prog, cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("hedge never rescued the stalled request")
+	}
+	if !res.Hedged {
+		t.Error("winning response not marked hedged")
+	}
+	s := pool.Snapshot()
+	if s.Hedges != 1 || s.HedgeWins != 1 {
+		t.Errorf("hedges=%d wins=%d, want 1 and 1", s.Hedges, s.HedgeWins)
+	}
+	if fastHits.Load() == 0 {
+		t.Error("fast backend never saw the hedge")
+	}
+}
+
+// TestVerifyAgainstRealService: with VerifyEvery=1 every point is locally
+// re-simulated and must match a real braidd bit for bit.
+func TestVerifyAgainstRealService(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
+	defer ts.Close()
+	pool, err := NewPool(Options{Backends: []string{ts.URL}, VerifyEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.SimulateFull(context.Background(), mustKernel(t, "dot"), uarch.OutOfOrderConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("result not verified with VerifyEvery=1")
+	}
+	if got := pool.Snapshot().Verified; got != 1 {
+		t.Errorf("verified = %d, want 1", got)
+	}
+}
+
+// TestVerifyDetectsDivergence: a backend serving wrong Stats is caught, not
+// silently folded into the sweep.
+func TestVerifyDetectsDivergence(t *testing.T) {
+	st, _ := json.Marshal(&uarch.Stats{Cycles: 1, Retired: 1}) // a lie
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"stats":%s,"source":"run"}`, st)
+	}))
+	defer ts.Close()
+	pool, err := NewPool(Options{Backends: []string{ts.URL}, VerifyEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pool.Simulate(context.Background(), mustKernel(t, "dot"), uarch.OutOfOrderConfig(8))
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("got %v, want *VerifyError", err)
+	}
+}
+
+// TestRemoteMatchesLocalBitForBit: against a real service, the pool's Stats
+// are byte-identical to in-process simulation for every core kind.
+func TestRemoteMatchesLocalBitForBit(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
+	defer ts.Close()
+	pool, err := NewPool(Options{Backends: []string{ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := mustKernel(t, "matmul")
+	for _, cfg := range []uarch.Config{
+		uarch.OutOfOrderConfig(8),
+		uarch.InOrderConfig(4),
+		uarch.DepSteerConfig(8),
+	} {
+		local, err := uarch.SimulateChecked(context.Background(), prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pool.SimulateFull(context.Background(), prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := json.Marshal(local)
+		if string(want) != string(res.RawStats) {
+			t.Errorf("%s: remote stats differ:\n remote: %s\n  local: %s", cfg.Core, res.RawStats, want)
+		}
+	}
+}

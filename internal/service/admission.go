@@ -60,6 +60,14 @@ func (a *admission) releaseSlot()  { <-a.slots }
 func (a *admission) releaseQueue() { <-a.queue }
 
 // busy is the number of simulations currently executing; waiting is the
-// number admitted but not yet running.
-func (a *admission) busy() int    { return len(a.slots) }
-func (a *admission) waiting() int { return len(a.queue) - len(a.slots) }
+// number admitted but not yet running. The two channel lengths are read
+// without synchronization — a request can release its queue position between
+// the reads — so the difference is clamped: /metrics must never report a
+// negative queue depth.
+func (a *admission) busy() int { return len(a.slots) }
+func (a *admission) waiting() int {
+	if n := len(a.queue) - len(a.slots); n > 0 {
+		return n
+	}
+	return 0
+}

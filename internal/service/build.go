@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -16,11 +17,16 @@ import (
 )
 
 // SimRequest is the body of POST /v1/simulate: one program source (BRD64
-// assembly, a named workload profile, or a built-in kernel) plus a machine
-// configuration, either the core/width shorthand or a full uarch.Config.
+// assembly, a binary program image, a named workload profile, or a built-in
+// kernel) plus a machine configuration, either the core/width shorthand or a
+// full uarch.Config.
 type SimRequest struct {
-	// Program source: exactly one of the three.
+	// Program source: exactly one of the four. Image carries the exact
+	// bytes a remote client wants simulated (base64 .brd), bypassing
+	// generation and calibration so distributed execution is bit-identical
+	// to local runs.
 	Asm      string `json:"asm,omitempty"`      // BRD64 assembly text
+	Image    string `json:"image,omitempty"`    // base64 .brd binary program image
 	Workload string `json:"workload,omitempty"` // named synthetic profile (e.g. "gcc")
 	Kernel   string `json:"kernel,omitempty"`   // built-in kernel (e.g. "dot")
 	Iters    int    `json:"iters,omitempty"`    // workload loop iterations (default 100)
@@ -139,19 +145,29 @@ func Build(req *SimRequest, lim Limits) (*Built, error) {
 
 func buildProgram(req *SimRequest) (*isa.Program, error) {
 	sources := 0
-	for _, set := range []bool{req.Asm != "", req.Workload != "", req.Kernel != ""} {
+	for _, set := range []bool{req.Asm != "", req.Image != "", req.Workload != "", req.Kernel != ""} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return nil, fmt.Errorf("request needs exactly one of asm, workload, kernel (got %d)", sources)
+		return nil, fmt.Errorf("request needs exactly one of asm, image, workload, kernel (got %d)", sources)
 	}
 	switch {
 	case req.Asm != "":
 		p, err := asm.Parse(req.Asm)
 		if err != nil {
 			return nil, fmt.Errorf("asm: %w", err)
+		}
+		return p, nil
+	case req.Image != "":
+		raw, err := base64.StdEncoding.DecodeString(req.Image)
+		if err != nil {
+			return nil, fmt.Errorf("image: %w", err)
+		}
+		p, err := isa.ReadImage(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("image: %w", err)
 		}
 		return p, nil
 	case req.Workload != "":

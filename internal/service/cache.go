@@ -32,6 +32,17 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
+// cloneStats copies a Stats record. Stats is a flat struct of counters, so
+// a value copy is a deep copy; handing out clones keeps the cache's master
+// copy (and a flight's shared result) immune to caller mutation.
+func cloneStats(st *uarch.Stats) *uarch.Stats {
+	if st == nil {
+		return nil
+	}
+	c := *st
+	return &c
+}
+
 func (c *resultCache) get(key string) (*uarch.Stats, bool) {
 	if c.cap <= 0 {
 		return nil, false
@@ -43,13 +54,14 @@ func (c *resultCache) get(key string) (*uarch.Stats, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).st, true
+	return cloneStats(el.Value.(*cacheEntry).st), true
 }
 
 func (c *resultCache) put(key string, st *uarch.Stats) {
 	if c.cap <= 0 {
 		return
 	}
+	st = cloneStats(st) // the cache owns its copy; the caller keeps theirs
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {

@@ -23,8 +23,9 @@ type metrics struct {
 	resp5xx   expvar.Int
 	shed      expvar.Int // 429s from a full admission queue
 	cacheHits expvar.Int
-	cacheMiss expvar.Int
+	cacheMiss expvar.Int // flight leaders only: actual simulator demand
 	coalesced expvar.Int // followers served by another request's run
+	reelected expvar.Int // followers that re-led a flight after leader cancellation
 	simRuns   expvar.Int // simulations actually executed
 	simInstrs expvar.Int // instructions retired by executed simulations
 	simCycles expvar.Int // cycles simulated by executed simulations
@@ -52,6 +53,7 @@ func newMetrics(start time.Time) *metrics {
 		{"cache_hits", &mt.cacheHits},
 		{"cache_misses", &mt.cacheMiss},
 		{"coalesced_total", &mt.coalesced},
+		{"coalesce_reelected_total", &mt.reelected},
 		{"sim_runs_total", &mt.simRuns},
 		{"sim_instructions_total", &mt.simInstrs},
 		{"sim_cycles_total", &mt.simCycles},

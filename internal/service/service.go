@@ -80,9 +80,10 @@ type Server struct {
 	logMu    sync.Mutex
 
 	// testHookSimStart, when set, runs on the leader's goroutine after it
-	// holds a worker slot and before it simulates. Tests use it to hold the
-	// pool busy deterministically; never set outside tests.
-	testHookSimStart func(key string)
+	// holds a worker slot and before it simulates, with the request context.
+	// Tests use it to hold the pool busy deterministically; never set
+	// outside tests.
+	testHookSimStart func(ctx context.Context, key string)
 }
 
 // New builds a Server from cfg.
@@ -255,40 +256,58 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // an identical in-progress run, then the admission queue and a worker slot,
 // then the simulator itself under the request deadline. shed selects
 // fail-fast admission (interactive requests) over waiting (batch items).
+//
+// A cache miss is counted only for the flight leader — the request that
+// actually puts demand on the simulator. Followers count as coalesced, and
+// a follower whose leader was canceled (the leader's client hung up, so the
+// flight published context.Canceled) re-elects instead of inheriting an
+// error its own still-live caller never caused.
 func (s *Server) runSim(ctx context.Context, b *Built, shed bool) (*simResult, error) {
 	key := b.Key()
-	if st, ok := s.cache.get(key); ok {
-		s.met.cacheHits.Add(1)
-		return &simResult{st: st, source: "cache"}, nil
-	}
-	s.met.cacheMiss.Add(1)
-
-	fl, leader := s.flights.join(key)
-	if !leader {
-		s.met.coalesced.Add(1)
-		select {
-		case <-fl.done:
-			if fl.err != nil {
-				return nil, fl.err
-			}
-			return &simResult{st: fl.st, source: "coalesced", simMS: fl.simMS}, nil
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	for {
+		if st, ok := s.cache.get(key); ok {
+			s.met.cacheHits.Add(1)
+			return &simResult{st: st, source: "cache"}, nil
 		}
-	}
 
-	st, simMS, err := s.lead(ctx, key, b, shed)
-	s.flights.complete(key, fl, st, err, simMS)
-	if err != nil {
-		s.classifyFailure(err)
-		return nil, err
+		fl, leader := s.flights.join(key)
+		if !leader {
+			s.met.coalesced.Add(1)
+			select {
+			case <-fl.done:
+				if fl.err != nil {
+					if isCancellation(fl.err) && ctx.Err() == nil {
+						s.met.reelected.Add(1)
+						continue // leader's client is gone, ours is not: re-elect
+					}
+					return nil, fl.err
+				}
+				return &simResult{st: cloneStats(fl.st), source: "coalesced", simMS: fl.simMS}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+
+		s.met.cacheMiss.Add(1)
+		st, simMS, err := s.lead(ctx, key, b, shed)
+		s.flights.complete(key, fl, st, err, simMS)
+		if err != nil {
+			s.classifyFailure(err)
+			return nil, err
+		}
+		s.cache.put(key, st)
+		s.met.simRuns.Add(1)
+		s.met.simInstrs.Add(int64(st.Retired))
+		s.met.simCycles.Add(int64(st.Cycles))
+		s.met.simNanos.Add(int64(simMS * 1e6))
+		return &simResult{st: st, source: "run", simMS: simMS}, nil
 	}
-	s.cache.put(key, st)
-	s.met.simRuns.Add(1)
-	s.met.simInstrs.Add(int64(st.Retired))
-	s.met.simCycles.Add(int64(st.Cycles))
-	s.met.simNanos.Add(int64(simMS * 1e6))
-	return &simResult{st: st, source: "run", simMS: simMS}, nil
+}
+
+// isCancellation reports a failure caused by the requester going away, as
+// opposed to the simulation itself failing.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, uarch.ErrCanceled)
 }
 
 // lead is the flight leader's path: pass admission, take a worker slot, and
@@ -303,7 +322,7 @@ func (s *Server) lead(ctx context.Context, key string, b *Built, shed bool) (*ua
 	}
 	defer s.adm.releaseSlot()
 	if h := s.testHookSimStart; h != nil {
-		h(key)
+		h(ctx, key)
 	}
 	simCtx, cancel := context.WithTimeout(ctx, b.Timeout)
 	defer cancel()

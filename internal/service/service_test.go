@@ -3,15 +3,18 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"braid/internal/isa"
 	"braid/internal/uarch"
 )
 
@@ -152,7 +155,7 @@ func TestQueueFullSheds429(t *testing.T) {
 	svc := New(Config{Workers: 1, QueueDepth: -1})
 	started := make(chan string, 1)
 	release := make(chan struct{})
-	svc.testHookSimStart = func(key string) {
+	svc.testHookSimStart = func(_ context.Context, key string) {
 		started <- key
 		<-release
 	}
@@ -205,7 +208,7 @@ func TestCoalescing(t *testing.T) {
 	svc := New(Config{Workers: 1, QueueDepth: 4})
 	started := make(chan string, 1)
 	release := make(chan struct{})
-	svc.testHookSimStart = func(key string) {
+	svc.testHookSimStart = func(_ context.Context, key string) {
 		started <- key
 		<-release
 	}
@@ -271,7 +274,7 @@ func TestGracefulDrain(t *testing.T) {
 	svc := New(Config{Workers: 1})
 	started := make(chan string, 1)
 	release := make(chan struct{})
-	svc.testHookSimStart = func(key string) {
+	svc.testHookSimStart = func(_ context.Context, key string) {
 		started <- key
 		<-release
 	}
@@ -468,6 +471,225 @@ func TestSimFaultMapsTo422(t *testing.T) {
 	status, _ = simErrorBody(errOverloaded)
 	if status != http.StatusTooManyRequests {
 		t.Errorf("overload mapped to %d", status)
+	}
+}
+
+// TestLeaderAbortReelection: a follower coalesced onto a leader whose client
+// hangs up mid-run must not inherit the leader's cancellation — its own
+// caller is still waiting. The follower re-elects itself, runs the
+// simulation, and gets a 200.
+func TestLeaderAbortReelection(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 4})
+	var calls atomic.Int32
+	started := make(chan string, 2)
+	svc.testHookSimStart = func(ctx context.Context, key string) {
+		if calls.Add(1) == 1 {
+			started <- key
+			<-ctx.Done() // hold the leader until its client has hung up
+		}
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	const body = `{"workload":"art","iters":25,"core":"ooo"}`
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(leaderCtx, http.MethodPost,
+			ts.URL+"/v1/simulate", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		leaderDone <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("leader never reached the simulator")
+	}
+
+	followerDone := make(chan rawResponse, 1)
+	go func() {
+		resp, data := postJSON(t, ts.URL+"/v1/simulate", body)
+		var rr rawResponse
+		json.Unmarshal(data, &rr)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("follower status %d: %s", resp.StatusCode, data)
+		}
+		followerDone <- rr
+	}()
+	waitFor(t, func() bool { return svc.met.coalesced.Value() == 1 }, "follower never coalesced")
+
+	cancelLeader() // the leader now simulates under a canceled context and fails
+	if err := <-leaderDone; err == nil {
+		t.Fatal("leader request was not aborted")
+	}
+
+	rr := <-followerDone
+	if rr.Source != "run" {
+		t.Errorf("follower source %q, want run (a fresh election)", rr.Source)
+	}
+	if got := svc.met.reelected.Value(); got != 1 {
+		t.Errorf("coalesce_reelected_total = %d, want 1", got)
+	}
+	if got := svc.met.canceled.Value(); got != 1 {
+		t.Errorf("canceled_total = %d, want 1 (the aborted leader)", got)
+	}
+}
+
+// TestCacheReturnsCopies: the result cache must hand out private copies —
+// a caller mutating a Stats it was served (or the one it put in) must not
+// corrupt what later hits observe.
+func TestCacheReturnsCopies(t *testing.T) {
+	c := newResultCache(4)
+	orig := &uarch.Stats{Cycles: 10, Retired: 5}
+	c.put("k", orig)
+	orig.Cycles = 999 // the producer reuses its struct after the put
+
+	st1, ok := c.get("k")
+	if !ok || st1.Cycles != 10 {
+		t.Fatalf("first hit: %+v, want Cycles=10 (insulated from producer)", st1)
+	}
+	st1.Retired = 12345 // a consumer scribbles on its copy
+
+	st2, ok := c.get("k")
+	if !ok || st2.Retired != 5 || st2.Cycles != 10 {
+		t.Fatalf("second hit: %+v, want the original Cycles=10 Retired=5", st2)
+	}
+}
+
+// TestMissAccountingLeaderOnly: cache_misses counts simulator demand —
+// flight leaders only. Followers are coalesced, repeats are hits, and the
+// three counters add up to the requests served.
+func TestMissAccountingLeaderOnly(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 4})
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	svc.testHookSimStart = func(_ context.Context, key string) {
+		started <- key
+		<-release
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	const body = `{"workload":"equake","iters":25,"core":"ooo"}`
+	results := make(chan int, 3)
+	do := func() {
+		resp, data := postJSON(t, ts.URL+"/v1/simulate", body)
+		_ = data
+		results <- resp.StatusCode
+	}
+	go do()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("leader never reached the simulator")
+	}
+	go do()
+	go do()
+	waitFor(t, func() bool { return svc.met.coalesced.Value() == 2 }, "followers never coalesced")
+	close(release)
+	for i := 0; i < 3; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/simulate", body) // repeat: a pure cache hit
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("repeat request failed")
+	}
+
+	miss, hits, coal := svc.met.cacheMiss.Value(), svc.met.cacheHits.Value(), svc.met.coalesced.Value()
+	if miss != 1 {
+		t.Errorf("cache_misses = %d, want 1 (the lone flight leader)", miss)
+	}
+	if coal != 2 {
+		t.Errorf("coalesced_total = %d, want 2", coal)
+	}
+	if hits != 1 {
+		t.Errorf("cache_hits = %d, want 1", hits)
+	}
+	if miss != svc.met.simRuns.Value() {
+		t.Errorf("cache_misses = %d but sim_runs_total = %d; with no failures they must agree", miss, svc.met.simRuns.Value())
+	}
+	if got := hits + miss + coal; got != 4 {
+		t.Errorf("hits+misses+coalesced = %d, want 4 (one per simulate request)", got)
+	}
+}
+
+// TestImageRequestBitIdentical: a request carrying the exact program image
+// (the distributed-execution transport) produces the same Stats bytes and
+// the same cache key as the equivalent name-based request.
+func TestImageRequestBitIdentical(t *testing.T) {
+	named := SimRequest{Workload: "gcc", Iters: 30, Core: "braid", Width: 8}
+	nb, err := Build(&named, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var img bytes.Buffer
+	if err := isa.WriteImage(&img, nb.Program); err != nil {
+		t.Fatal(err)
+	}
+	noBraid := false // the image is already braided; it must not recompile
+	cfg := nb.Config
+	imageReq := SimRequest{
+		Image:  base64.StdEncoding.EncodeToString(img.Bytes()),
+		Config: &cfg,
+		Braid:  &noBraid,
+	}
+	ib, err := Build(&imageReq, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ib.Key() != nb.Key() {
+		t.Errorf("image-built key %s differs from name-built key %s", ib.Key(), nb.Key())
+	}
+
+	svc := New(Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(&imageReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var rr rawResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := uarch.Simulate(nb.Program, nb.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(direct)
+	if !bytes.Equal(want, rr.Stats) {
+		t.Errorf("image-request Stats differ from direct run:\n served: %s\n direct: %s", rr.Stats, want)
+	}
+}
+
+// TestWaitingNeverNegative pins the /metrics queue-depth clamp: the two
+// channel reads race, so the raw difference can go negative mid-request;
+// the reported value must not.
+func TestWaitingNeverNegative(t *testing.T) {
+	a := newAdmission(2, 4)
+	// A request can release its queue position between the two length
+	// reads; model the worst case directly.
+	a.slots <- struct{}{}
+	if got := a.waiting(); got != 0 {
+		t.Errorf("waiting() = %d with slots ahead of queue, want 0", got)
+	}
+	a.queue <- struct{}{}
+	a.queue <- struct{}{}
+	if got := a.waiting(); got != 1 {
+		t.Errorf("waiting() = %d, want 1", got)
 	}
 }
 
