@@ -10,12 +10,14 @@ package braid
 // use cmd/braidbench for the full per-benchmark tables.
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
 
 	"braid/internal/experiments"
 	"braid/internal/uarch"
+	"braid/internal/workload"
 )
 
 var (
@@ -103,6 +105,58 @@ func BenchmarkSimThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSampledThroughput pits interval sampling against exact simulation
+// on a workload long enough to fast-forward most of its instructions. The
+// exact case reports detailed-engine MIPS; the sampled case reports both
+// detailed MIPS (honest engine speed) and effective MIPS (retired
+// instructions per second, counting the fast-forwarded leap) — the ratio of
+// effective to exact MIPS is the sweep-throughput win sampling buys.
+func BenchmarkSampledThroughput(b *testing.B) {
+	prof, ok := workload.ProfileByName("gcc")
+	if !ok {
+		b.Fatal("gcc profile missing")
+	}
+	p, err := workload.Generate(prof, 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := uarch.OutOfOrderConfig(8)
+	sp := uarch.Sampling{Period: 100_000, Detail: 5_000, Warmup: 5_000}
+
+	b.Run("exact", func(b *testing.B) {
+		var instrs uint64
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			st, err := uarch.Simulate(p, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += st.Retired
+		}
+		if secs := time.Since(start).Seconds(); secs > 0 {
+			b.ReportMetric(float64(instrs)/secs/1e6, "MIPS")
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		var detailed, retired uint64
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			st, est, err := uarch.SimulateSampled(context.Background(), p, cfg, sp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			detailed += est.DetailedInstrs
+			retired += st.Retired
+		}
+		if secs := time.Since(start).Seconds(); secs > 0 {
+			b.ReportMetric(float64(detailed)/secs/1e6, "MIPS")
+			b.ReportMetric(float64(retired)/secs/1e6, "effective_MIPS")
+		}
+	})
 }
 
 func metricName(desc string) string {

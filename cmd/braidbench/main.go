@@ -68,8 +68,16 @@ func main() {
 		remoteList = flag.String("remote", "", "comma-separated braidd base URLs; simulations run on these backends")
 		hedge      = flag.Bool("hedge", false, "hedge slow remote requests onto a second backend (needs -remote)")
 		remoteVer  = flag.Int("remote-verify", 0, "cross-check sampled remote results against local simulation, ~1 in N points (needs -remote; 0: off)")
+		sample     = flag.String("sample", "", "interval sampling geometry period:detail[:warmup]; empty runs exact")
+		accuracy   = flag.String("sampling-accuracy", "", "write an exact-vs-sampled suite accuracy report (JSON) to this file and exit")
 	)
 	flag.Parse()
+
+	sampling, err := uarch.ParseSampling(*sample)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "braidbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *complexity {
 		fmt.Print(uarch.ComplexityReport(8))
@@ -121,6 +129,24 @@ func main() {
 	w.SetContext(ctx)
 	w.SetTimeout(*simTimeout)
 	w.SetCrashDir(*crashDir)
+	if sampling.Enabled() {
+		w.SetSampling(sampling)
+		fmt.Fprintf(os.Stderr, "braidbench: interval sampling %s (IPC values are estimates)\n", sampling)
+	}
+
+	if *accuracy != "" {
+		sp := sampling
+		if !sp.Enabled() {
+			// The harness default: geometry tuned so million-instruction
+			// benchmarks land under 2% error at >5x suite speedup.
+			sp = uarch.Sampling{Period: 100_000, Detail: 5_000, Warmup: 5_000}
+		}
+		if err := writeAccuracyReport(ctx, w, sp, *accuracy); err != nil {
+			fmt.Fprintf(os.Stderr, "braidbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var pool *remote.Pool
 	if *remoteList != "" {
 		var perr error
@@ -201,19 +227,31 @@ func main() {
 	if *throughput {
 		secs := time.Since(start).Seconds()
 		summary := struct {
-			Simulations  uint64  `json:"simulations"`
-			Instructions uint64  `json:"instructions"`
-			Cycles       uint64  `json:"cycles"`
-			Seconds      float64 `json:"seconds"`
-			MIPS         float64 `json:"mips"`
-			Jobs         int     `json:"jobs"`
+			Simulations uint64 `json:"simulations"`
+			// Instructions is everything retired; Detailed ran on the
+			// cycle-level engine, FFwd was functionally fast-forwarded by
+			// sampled runs. MIPS rates the detailed engine only (honest
+			// under sampling); EffectiveMIPS rates total retirement — the
+			// sweep-level throughput sampling buys. Exact runs report the
+			// two equal.
+			Instructions  uint64  `json:"instructions"`
+			Detailed      uint64  `json:"detailed_instructions"`
+			FFwd          uint64  `json:"fastforward_instructions"`
+			Cycles        uint64  `json:"cycles"`
+			Seconds       float64 `json:"seconds"`
+			MIPS          float64 `json:"mips"`
+			EffectiveMIPS float64 `json:"effective_mips"`
+			Jobs          int     `json:"jobs"`
 		}{
-			Simulations:  w.SimRuns(),
-			Instructions: w.SimInstrs(),
-			Cycles:       w.SimCycles(),
-			Seconds:      secs,
-			MIPS:         float64(w.SimInstrs()) / secs / 1e6,
-			Jobs:         *jobs,
+			Simulations:   w.SimRuns(),
+			Instructions:  w.SimInstrs(),
+			Detailed:      w.SimDetailedInstrs(),
+			FFwd:          w.SimFFwdInstrs(),
+			Cycles:        w.SimCycles(),
+			Seconds:       secs,
+			MIPS:          float64(w.SimDetailedInstrs()) / secs / 1e6,
+			EffectiveMIPS: float64(w.SimInstrs()) / secs / 1e6,
+			Jobs:          *jobs,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -226,4 +264,42 @@ func main() {
 		w.CloseCheckpoint() // os.Exit skips the defer
 		os.Exit(exit)
 	}
+}
+
+// writeAccuracyReport sweeps the suite exact-vs-sampled for the two
+// paradigms most sweeps simulate — the 8-wide out-of-order baseline on the
+// original binaries and the 8-wide braid machine on the braided ones — and
+// writes both reports as a JSON array (BENCH_sampling_accuracy.json).
+func writeAccuracyReport(ctx context.Context, w *experiments.Workloads, sp uarch.Sampling, path string) error {
+	fmt.Fprintf(os.Stderr, "braidbench: accuracy sweep, sampling %s (sequential exact+sampled per benchmark)\n", sp)
+	var reports []*experiments.AccuracyReport
+	for _, c := range []struct {
+		cfg     uarch.Config
+		braided bool
+	}{
+		{uarch.OutOfOrderConfig(8), false},
+		{uarch.BraidConfig(8), true},
+	} {
+		t0 := time.Now()
+		rep, err := experiments.MeasureAccuracy(ctx, w, c.cfg, c.braided, sp)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "braidbench: %s braided=%v: mean |err| %.2f%%, max %.2f%%, suite speedup %.1fx (%v)\n",
+			rep.Core, rep.Braided, 100*rep.MeanAbsRelErr, 100*rep.MaxAbsRelErr, rep.SuiteSpeedup,
+			time.Since(t0).Round(time.Millisecond))
+		reports = append(reports, rep)
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
 }

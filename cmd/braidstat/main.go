@@ -60,16 +60,22 @@ func main() {
 		remoteList = flag.String("remote", "", "comma-separated braidd base URLs; -ipc simulations run on these backends")
 		hedge      = flag.Bool("hedge", false, "hedge slow remote requests onto a second backend (needs -remote)")
 		remoteVer  = flag.Int("remote-verify", 0, "cross-check sampled remote results against local simulation, ~1 in N (needs -remote; 0: off)")
+		sample     = flag.String("sample", "", "interval sampling geometry period:detail[:warmup] for -ipc simulations; empty runs exact")
 	)
 	flag.Parse()
+
+	sampling, err := uarch.ParseSampling(*sample)
+	if err != nil {
+		fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var sim simFunc
 	if *ipc && !*values {
-		sim = func(p *isa.Program, cfg uarch.Config) (*uarch.Stats, error) {
-			return uarch.SimulateChecked(ctx, p, cfg)
+		sim = func(p *isa.Program, cfg uarch.Config) (*uarch.Stats, *uarch.SampleEstimate, error) {
+			return uarch.SimulateSampled(ctx, p, cfg, sampling)
 		}
 		if *remoteList != "" {
 			pool, err := remote.NewPool(remote.Options{
@@ -86,8 +92,8 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			sim = func(p *isa.Program, cfg uarch.Config) (*uarch.Stats, error) {
-				return pool.Simulate(ctx, p, cfg)
+			sim = func(p *isa.Program, cfg uarch.Config) (*uarch.Stats, *uarch.SampleEstimate, error) {
+				return pool.SimulateSampled(ctx, p, cfg, sampling)
 			}
 			defer func() { fmt.Fprintf(os.Stderr, "braidstat: remote pool: %s\n", pool) }()
 		}
@@ -95,7 +101,7 @@ func main() {
 
 	switch {
 	case *suite:
-		characterizeSuite(ctx, *iters, *values, *jobs, *checkpoint, *resume, sim)
+		characterizeSuite(ctx, *iters, *values, *jobs, *checkpoint, *resume, sim, sampling)
 	case *bench != "":
 		prof, ok := workload.ProfileByName(*bench)
 		if !ok {
@@ -119,26 +125,31 @@ func main() {
 
 // simFunc executes one simulation for the -ipc report section: in-process by
 // default, through the remote pool with -remote. Both are deterministic and
-// return identical Stats, so reports are byte-identical either way.
-type simFunc func(p *isa.Program, cfg uarch.Config) (*uarch.Stats, error)
+// return identical Stats, so reports are byte-identical either way. The
+// estimate is non-nil exactly when -sample produced an interval-sampled
+// result.
+type simFunc func(p *isa.Program, cfg uarch.Config) (*uarch.Stats, *uarch.SampleEstimate, error)
 
 // statRecord is one finished benchmark report in the -checkpoint JSONL. The
 // key fields guard against resuming a checkpoint taken with different
 // characterization parameters, which would silently mix reports. IPC guards
 // the -ipc report section; records written without it resume only runs that
 // also omit it (remote vs local does not matter — the section is identical).
+// Sampling records the -sample geometry, so exact and sampled runs never
+// resume each other's reports.
 type statRecord struct {
 	Name       string `json:"name"`
 	Iters      int    `json:"iters"`
 	ValuesOnly bool   `json:"values_only"`
 	IPC        bool   `json:"ipc,omitempty"`
+	Sampling   string `json:"sampling,omitempty"`
 	Report     string `json:"report"`
 }
 
 // loadStatCheckpoint returns the reports already finished, keyed by benchmark
 // name, skipping records whose parameters do not match. A torn final line —
 // a crash mid-append — is ignored.
-func loadStatCheckpoint(path string, iters int, valuesOnly, ipc bool) (map[string]string, error) {
+func loadStatCheckpoint(path string, iters int, valuesOnly, ipc bool, sampling string) (map[string]string, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return map[string]string{}, nil
@@ -162,7 +173,7 @@ func loadStatCheckpoint(path string, iters int, valuesOnly, ipc bool) (map[strin
 			}
 			return nil, fmt.Errorf("braidstat: corrupt checkpoint %s: %w", path, err)
 		}
-		if rec.Iters == iters && rec.ValuesOnly == valuesOnly && rec.IPC == ipc {
+		if rec.Iters == iters && rec.ValuesOnly == valuesOnly && rec.IPC == ipc && rec.Sampling == sampling {
 			done[rec.Name] = rec.Report
 		}
 	}
@@ -174,7 +185,11 @@ func loadStatCheckpoint(path string, iters int, valuesOnly, ipc bool) (map[strin
 // panic while characterizing one benchmark is contained to that benchmark;
 // Ctrl-C stops workers from starting new benchmarks and exits without
 // printing a partial suite.
-func characterizeSuite(ctx context.Context, iters int, valuesOnly bool, jobs int, ckptPath string, resume bool, sim simFunc) {
+func characterizeSuite(ctx context.Context, iters int, valuesOnly bool, jobs int, ckptPath string, resume bool, sim simFunc, sampling uarch.Sampling) {
+	sampStr := ""
+	if sampling.Enabled() {
+		sampStr = sampling.String()
+	}
 	profs := workload.Profiles()
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -189,7 +204,7 @@ func characterizeSuite(ctx context.Context, iters int, valuesOnly bool, jobs int
 	var ckptMu sync.Mutex
 	if ckptPath != "" {
 		if resume {
-			done, err := loadStatCheckpoint(ckptPath, iters, valuesOnly, sim != nil)
+			done, err := loadStatCheckpoint(ckptPath, iters, valuesOnly, sim != nil, sampStr)
 			if err != nil {
 				fatal(err)
 			}
@@ -227,7 +242,7 @@ func characterizeSuite(ctx context.Context, iters int, valuesOnly bool, jobs int
 				}
 				reports[i], errs[i] = reportChecked(p, valuesOnly, sim)
 				if errs[i] == nil && ckpt != nil {
-					rec := statRecord{Name: profs[i].Name, Iters: iters, ValuesOnly: valuesOnly, IPC: sim != nil, Report: reports[i]}
+					rec := statRecord{Name: profs[i].Name, Iters: iters, ValuesOnly: valuesOnly, IPC: sim != nil, Sampling: sampStr, Report: reports[i]}
 					if data, err := json.Marshal(&rec); err == nil {
 						ckptMu.Lock()
 						ckpt.Write(append(data, '\n')) // one write: a crash tears at most the last line
@@ -311,17 +326,30 @@ func report(p *isa.Program, valuesOnly bool, sim simFunc) (string, error) {
 	st := ds.Stats()
 	b.WriteString(st.String())
 	if sim != nil {
-		ooo, err := sim(p, uarch.OutOfOrderConfig(8))
+		ooo, oooEst, err := sim(p, uarch.OutOfOrderConfig(8))
 		if err != nil {
 			return "", err
 		}
-		br, err := sim(res.Prog, uarch.BraidConfig(8))
+		br, brEst, err := sim(res.Prog, uarch.BraidConfig(8))
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&b, "ipc: o-o-o/8w %.4f  braid/8w %.4f\n", ooo.IPC(), br.IPC())
+		// Exact runs keep the historical line byte-for-byte; sampled runs
+		// annotate each estimate with its 95% confidence half-width.
+		fmt.Fprintf(&b, "ipc: o-o-o/8w %.4f%s  braid/8w %.4f%s\n",
+			ooo.IPC(), ciSuffix(oooEst), br.IPC(), ciSuffix(brEst))
 	}
 	return b.String(), nil
+}
+
+// ciSuffix renders a sampled estimate's relative 95% confidence interval as
+// "±x.x%". Exact results (nil estimate, or a sampled run that fell back to
+// exact simulation) render nothing, keeping exact output byte-identical.
+func ciSuffix(est *uarch.SampleEstimate) string {
+	if est == nil || est.Exact {
+		return ""
+	}
+	return fmt.Sprintf("±%.1f%%", est.IPCRelCI*100)
 }
 
 func fatal(err error) {

@@ -23,6 +23,12 @@ type ckptRecord struct {
 	Braided bool         `json:"braided"`
 	IPC     float64      `json:"ipc"`
 	Cfg     uarch.Config `json:"cfg"`
+	// Sampling marks interval-sampled points; absent (nil) means exact.
+	// Sampled and exact records restore into disjoint memo keyspaces.
+	Sampling *uarch.Sampling `json:"sampling,omitempty"`
+	// CI is the sampled estimate's relative 95% confidence half-width on
+	// IPC; omitted for exact points.
+	CI float64 `json:"ipc_rel_ci95,omitempty"`
 }
 
 // ckptDone is the shared pre-closed latch for restored memo cells.
@@ -105,12 +111,16 @@ func (w *Workloads) loadCheckpoint(data []byte) (int, error) {
 			}
 			return restored, fmt.Errorf("line %d: %w", line, err)
 		}
-		key := memoKey{rec.Bench, rec.Braided, rec.Cfg}
+		var sp uarch.Sampling
+		if rec.Sampling != nil {
+			sp = *rec.Sampling
+		}
+		key := memoKey{rec.Bench, rec.Braided, rec.Cfg, sp}
 		w.mu.Lock()
 		if _, ok := w.memo[key]; !ok {
 			restored++
 		}
-		w.memo[key] = &memoCell{done: ckptDone, ipc: rec.IPC}
+		w.memo[key] = &memoCell{done: ckptDone, ipc: rec.IPC, ci: rec.CI}
 		w.mu.Unlock()
 	}
 	if err := sc.Err(); err != nil {
@@ -128,7 +138,7 @@ func isLastLine(data, raw []byte) bool {
 // checkpointPoint appends one completed simulation. Injected-fault configs
 // never checkpoint (the Inject field is process-local and json-excluded, so
 // a resumed record could not reproduce the run).
-func (w *Workloads) checkpointPoint(key memoKey, ipc float64) {
+func (w *Workloads) checkpointPoint(key memoKey, ipc, ci float64) {
 	if key.cfg.Inject != nil {
 		return
 	}
@@ -138,6 +148,11 @@ func (w *Workloads) checkpointPoint(key memoKey, ipc float64) {
 		return
 	}
 	rec := ckptRecord{Bench: key.bench, Braided: key.braided, IPC: ipc, Cfg: key.cfg}
+	if key.sampling.Enabled() {
+		sp := key.sampling
+		rec.Sampling = &sp
+		rec.CI = ci
+	}
 	data, err := json.Marshal(&rec)
 	if err != nil {
 		return // Config is always marshalable; defensive only

@@ -51,6 +51,7 @@ type Workloads struct {
 	simTimeout time.Duration   // per-simulation wall-clock deadline (0: none)
 	crashDir   string          // where *SimFault repro artifacts land ("" : off)
 	runner     Runner          // simulation executor (nil: in-process uarch)
+	sampling   uarch.Sampling  // interval sampling geometry (zero: exact)
 
 	mu   sync.Mutex
 	memo map[memoKey]*memoCell
@@ -61,15 +62,18 @@ type Workloads struct {
 	failMu sync.Mutex
 	failed []PointFailure
 
-	simRuns   atomic.Uint64 // simulations actually executed (not memo hits)
-	simCycles atomic.Uint64 // machine cycles across executed simulations
-	simInstrs atomic.Uint64 // retired instructions across executed simulations
+	simRuns     atomic.Uint64 // simulations actually executed (not memo hits)
+	simCycles   atomic.Uint64 // machine cycles across executed simulations
+	simInstrs   atomic.Uint64 // retired instructions across executed simulations
+	simDetailed atomic.Uint64 // ... of which ran on the detailed engine
+	simFFwd     atomic.Uint64 // ... of which were functionally fast-forwarded
 }
 
 type memoKey struct {
-	bench   string
-	braided bool
-	cfg     uarch.Config
+	bench    string
+	braided  bool
+	cfg      uarch.Config
+	sampling uarch.Sampling // zero for exact runs: sampled results never alias exact ones
 }
 
 // memoCell is one in-flight or finished simulation; done is closed when ipc
@@ -77,6 +81,7 @@ type memoKey struct {
 type memoCell struct {
 	done chan struct{}
 	ipc  float64
+	ci   float64 // relative 95% CI half-width on IPC (0 for exact runs)
 	err  error
 }
 
@@ -132,13 +137,44 @@ type Runner interface {
 // simulator. Set it before starting a sweep, not during one.
 func (w *Workloads) SetRunner(r Runner) { w.runner = r }
 
+// SampledRunner is the optional Runner extension for interval-sampled
+// execution. A Runner that lacks it cannot serve a sampled suite —
+// silently falling back to exact would report exact results under a sampled
+// cache key — so simulate returns an error instead.
+type SampledRunner interface {
+	Runner
+	SimulateSampled(ctx context.Context, p *isa.Program, cfg uarch.Config, sp uarch.Sampling) (*uarch.Stats, *uarch.SampleEstimate, error)
+}
+
+// SetSampling selects interval sampling for every subsequent simulation
+// (zero value: exact). Sampled and exact results occupy disjoint memo and
+// checkpoint keyspaces, so switching modes never aliases results. Set it
+// before starting a sweep, not during one.
+func (w *Workloads) SetSampling(sp uarch.Sampling) { w.sampling = sp }
+
+// Sampling reports the suite's sampling geometry (zero when exact).
+func (w *Workloads) Sampling() uarch.Sampling { return w.sampling }
+
 // simulate dispatches one run through the installed Runner, defaulting to
-// the checked in-process simulator.
-func (w *Workloads) simulate(ctx context.Context, p *isa.Program, cfg uarch.Config) (*uarch.Stats, error) {
-	if w.runner != nil {
-		return w.runner.Simulate(ctx, p, cfg)
+// the in-process simulator; with sampling enabled the estimate accompanies
+// the stats (nil for exact runs).
+func (w *Workloads) simulate(ctx context.Context, p *isa.Program, cfg uarch.Config) (*uarch.Stats, *uarch.SampleEstimate, error) {
+	if w.sampling.Enabled() {
+		if w.runner != nil {
+			sr, ok := w.runner.(SampledRunner)
+			if !ok {
+				return nil, nil, fmt.Errorf("experiments: runner %T does not support sampled simulation", w.runner)
+			}
+			return sr.SimulateSampled(ctx, p, cfg, w.sampling)
+		}
+		return uarch.SimulateSampled(ctx, p, cfg, w.sampling)
 	}
-	return uarch.SimulateChecked(ctx, p, cfg)
+	if w.runner != nil {
+		st, err := w.runner.Simulate(ctx, p, cfg)
+		return st, nil, err
+	}
+	st, err := uarch.SimulateChecked(ctx, p, cfg)
+	return st, nil, err
 }
 
 // baseCtx resolves the suite context, defaulting to Background.
@@ -161,6 +197,14 @@ func (w *Workloads) SimInstrs() uint64 { return w.simInstrs.Load() }
 // SimCycles reports the total machine cycles across the simulations that
 // actually ran.
 func (w *Workloads) SimCycles() uint64 { return w.simCycles.Load() }
+
+// SimDetailedInstrs reports how many of SimInstrs ran on the detailed
+// cycle-level engine; for exact runs that is all of them.
+func (w *Workloads) SimDetailedInstrs() uint64 { return w.simDetailed.Load() }
+
+// SimFFwdInstrs reports how many of SimInstrs were functionally
+// fast-forwarded by sampled runs (zero when exact).
+func (w *Workloads) SimFFwdInstrs() uint64 { return w.simFFwd.Load() }
 
 // LoadSuite generates and braids all 26 benchmarks, each calibrated to about
 // dynTarget dynamic instructions, and precomputes their characterization,
@@ -326,12 +370,19 @@ func prepare(prof workload.Profile, dynTarget uint64) (*Bench, error) {
 // failures (timeout, cancellation) are not memoized, so a later call may
 // retry the point.
 func (w *Workloads) IPC(b *Bench, braided bool, cfg uarch.Config) (float64, error) {
-	key := memoKey{b.Name, braided, cfg}
+	ipc, _, err := w.IPCCI(b, braided, cfg)
+	return ipc, err
+}
+
+// IPCCI is IPC plus the estimate's relative 95% confidence half-width on
+// IPC — zero for exact runs, where the result is not an estimate.
+func (w *Workloads) IPCCI(b *Bench, braided bool, cfg uarch.Config) (float64, float64, error) {
+	key := memoKey{b.Name, braided, cfg, w.sampling}
 	w.mu.Lock()
 	if c, ok := w.memo[key]; ok {
 		w.mu.Unlock()
 		<-c.done
-		return c.ipc, c.err
+		return c.ipc, c.ci, c.err
 	}
 	c := &memoCell{done: make(chan struct{})}
 	w.memo[key] = c
@@ -343,7 +394,7 @@ func (w *Workloads) IPC(b *Bench, braided bool, cfg uarch.Config) (float64, erro
 // result through its latch. Transient errors evict the cell afterwards —
 // waiters that already joined the latch still see the error, but the key is
 // not poisoned for the process lifetime.
-func (w *Workloads) runPoint(key memoKey, c *memoCell, b *Bench, braided bool, cfg uarch.Config) (float64, error) {
+func (w *Workloads) runPoint(key memoKey, c *memoCell, b *Bench, braided bool, cfg uarch.Config) (float64, float64, error) {
 	w.simRuns.Add(1)
 	p := b.Orig
 	if braided {
@@ -354,7 +405,7 @@ func (w *Workloads) runPoint(key memoKey, c *memoCell, b *Bench, braided bool, c
 	if w.simTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, w.simTimeout)
 	}
-	st, err := w.simulate(ctx, p, cfg)
+	st, est, err := w.simulate(ctx, p, cfg)
 	cancel()
 	if err != nil {
 		c.err = fmt.Errorf("%s (%s braided=%v): %w", b.Name, cfg.Core, braided, err)
@@ -363,7 +414,14 @@ func (w *Workloads) runPoint(key memoKey, c *memoCell, b *Bench, braided bool, c
 		c.ipc = st.IPC()
 		w.simInstrs.Add(st.Retired)
 		w.simCycles.Add(st.Cycles)
-		w.checkpointPoint(key, c.ipc)
+		if est != nil && !est.Exact {
+			c.ci = est.IPCRelCI
+			w.simDetailed.Add(est.DetailedInstrs)
+			w.simFFwd.Add(est.FFwdInstrs)
+		} else {
+			w.simDetailed.Add(st.Retired)
+		}
+		w.checkpointPoint(key, c.ipc, c.ci)
 	}
 	close(c.done)
 	if c.err != nil && Transient(c.err) {
@@ -373,14 +431,14 @@ func (w *Workloads) runPoint(key memoKey, c *memoCell, b *Bench, braided bool, c
 		}
 		w.mu.Unlock()
 	}
-	return c.ipc, c.err
+	return c.ipc, c.ci, c.err
 }
 
 // Retry reruns one point: a finished memo cell (successful or failed) is
 // evicted first, so the simulation executes again; an in-flight cell is
 // joined instead of duplicated.
 func (w *Workloads) Retry(pt Point) (float64, error) {
-	key := memoKey{pt.Bench.Name, pt.Braided, pt.Cfg}
+	key := memoKey{pt.Bench.Name, pt.Braided, pt.Cfg, w.sampling}
 	w.mu.Lock()
 	if c, ok := w.memo[key]; ok {
 		select {
@@ -440,7 +498,8 @@ func (w *Workloads) Simulate(p *isa.Program, cfg uarch.Config) (*uarch.Stats, er
 		ctx, cancel = context.WithTimeout(ctx, w.simTimeout)
 	}
 	defer cancel()
-	return w.simulate(ctx, p, cfg)
+	st, _, err := w.simulate(ctx, p, cfg)
+	return st, err
 }
 
 // EachBench runs fn over every benchmark through the bounded worker pool and

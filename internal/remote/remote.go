@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -93,12 +94,13 @@ type Stats struct {
 // Result is one successfully simulated point with its provenance.
 type Result struct {
 	Stats    *uarch.Stats
-	RawStats []byte // the exact Stats JSON bytes the backend served
-	Source   string // run, cache, or coalesced (server-side provenance)
-	Backend  string // base URL that answered
-	Attempts int    // HTTP attempts spent (1 = first try)
-	Hedged   bool   // answered by a hedge request
-	Verified bool   // cross-checked bit-for-bit against local simulation
+	Estimate *uarch.SampleEstimate // sampled runs only; nil for exact
+	RawStats []byte                // the exact Stats JSON bytes the backend served
+	Source   string                // run, cache, or coalesced (server-side provenance)
+	Backend  string                // base URL that answered
+	Attempts int                   // HTTP attempts spent (1 = first try)
+	Hedged   bool                  // answered by a hedge request
+	Verified bool                  // cross-checked against local simulation
 }
 
 // NewPool validates o and builds a routing pool.
@@ -239,10 +241,27 @@ func (p *Pool) Simulate(ctx context.Context, prog *isa.Program, cfg uarch.Config
 	return r.Stats, nil
 }
 
+// SimulateSampled runs one point remotely with interval-sampled timing,
+// satisfying experiments.SampledRunner. The routing key gains the sampling
+// geometry, so sampled and exact results occupy disjoint server cache
+// keyspaces, and verification compares the estimate within tolerance rather
+// than byte-for-byte.
+func (p *Pool) SimulateSampled(ctx context.Context, prog *isa.Program, cfg uarch.Config, sp uarch.Sampling) (*uarch.Stats, *uarch.SampleEstimate, error) {
+	r, err := p.run(ctx, prog, cfg, sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Stats, r.Estimate, nil
+}
+
 // SimulateFull is Simulate with provenance: which backend answered, how many
 // attempts it took, and whether the result was hedged or verified.
 func (p *Pool) SimulateFull(ctx context.Context, prog *isa.Program, cfg uarch.Config) (*Result, error) {
-	body, key, err := encodeRequest(prog, cfg, p.opt.TimeoutMS)
+	return p.run(ctx, prog, cfg, uarch.Sampling{})
+}
+
+func (p *Pool) run(ctx context.Context, prog *isa.Program, cfg uarch.Config, sp uarch.Sampling) (*Result, error) {
+	body, key, err := encodeRequest(prog, cfg, p.opt.TimeoutMS, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +278,7 @@ func (p *Pool) SimulateFull(ctx context.Context, prog *isa.Program, cfg uarch.Co
 		return nil, err
 	}
 	if p.opt.VerifyEvery > 0 && hashKey(key)%uint64(p.opt.VerifyEvery) == 0 {
-		if err := p.verifyLocal(ctx, prog, cfg, res); err != nil {
+		if err := p.verifyLocal(ctx, prog, cfg, sp, res); err != nil {
 			return nil, err
 		}
 		res.Verified = true
@@ -273,7 +292,7 @@ func (p *Pool) SimulateFull(ctx context.Context, prog *isa.Program, cfg uarch.Co
 // simulates the same bytes the caller would locally — iteration calibration,
 // braid compilation, and any local program surgery are all already baked in —
 // and makes the routing key identical for identical points everywhere.
-func encodeRequest(prog *isa.Program, cfg uarch.Config, timeoutMS int64) (body []byte, key string, err error) {
+func encodeRequest(prog *isa.Program, cfg uarch.Config, timeoutMS int64, sp uarch.Sampling) (body []byte, key string, err error) {
 	var img bytes.Buffer
 	if err := isa.WriteImage(&img, prog); err != nil {
 		return nil, "", fmt.Errorf("remote: encoding %q: %w", prog.Name, err)
@@ -286,6 +305,11 @@ func encodeRequest(prog *isa.Program, cfg uarch.Config, timeoutMS int64) (body [
 	progSum := sha256.Sum256(img.Bytes())
 	cfgSum := sha256.Sum256(cfgJSON)
 	key = hex.EncodeToString(progSum[:]) + ":" + hex.EncodeToString(cfgSum[:])
+	if sp.Enabled() {
+		// Mirror the server's cache-key suffix, so a sampled point routes to
+		// the backend whose LRU holds the sampled (not the exact) entry.
+		key += ":s" + sp.String()
+	}
 
 	noBraid := false // the image is final; the backend must not recompile it
 	req := service.SimRequest{
@@ -293,6 +317,9 @@ func encodeRequest(prog *isa.Program, cfg uarch.Config, timeoutMS int64) (body [
 		Config:    &cfg,
 		Braid:     &noBraid,
 		TimeoutMS: timeoutMS,
+	}
+	if sp.Enabled() {
+		req.Sampling = &sp
 	}
 	body, err = json.Marshal(&req)
 	if err != nil {
@@ -491,8 +518,11 @@ func (p *Pool) call(ctx context.Context, backend string, body []byte) (*Result, 
 	}
 	if resp.StatusCode == http.StatusOK {
 		var sr struct {
-			Stats  json.RawMessage `json:"stats"`
-			Source string          `json:"source"`
+			Stats    json.RawMessage `json:"stats"`
+			Source   string          `json:"source"`
+			Sampling *struct {
+				Estimate *uarch.SampleEstimate `json:"estimate"`
+			} `json:"sampling"`
 		}
 		if err := json.Unmarshal(data, &sr); err != nil || len(sr.Stats) == 0 {
 			return nil, 0, &retryableError{fmt.Errorf("%s: malformed response: %v", backend, err)}
@@ -504,7 +534,11 @@ func (p *Pool) call(ctx context.Context, backend string, body []byte) (*Result, 
 		p.observeLatency(time.Since(t0))
 		raw := make([]byte, len(sr.Stats))
 		copy(raw, sr.Stats)
-		return &Result{Stats: st, RawStats: raw, Source: sr.Source, Backend: backend}, 0, nil
+		res := &Result{Stats: st, RawStats: raw, Source: sr.Source, Backend: backend}
+		if sr.Sampling != nil {
+			res.Estimate = sr.Sampling.Estimate
+		}
+		return res, 0, nil
 	}
 	return nil, parseRetryAfter(resp), p.translateError(backend, resp.StatusCode, data)
 }
@@ -549,10 +583,37 @@ func (p *Pool) translateError(backend string, status int, data []byte) error {
 	}
 }
 
-// verifyLocal re-simulates the point in-process and demands the backend's
-// Stats bytes match a local marshal bit for bit — the determinism contract
-// distributed sweeps stand on.
-func (p *Pool) verifyLocal(ctx context.Context, prog *isa.Program, cfg uarch.Config, res *Result) error {
+// verifyTolerance bounds the relative IPC disagreement accepted when
+// verifying a sampled point. The estimator is deterministic, so the slack
+// covers only cross-platform floating-point variation in the CPI scaling —
+// a real divergence is orders of magnitude larger.
+const verifyTolerance = 1e-9
+
+// verifyLocal re-simulates the point in-process. Exact results must match
+// the backend's Stats bytes bit for bit — the determinism contract
+// distributed sweeps stand on. Sampled results carry float arithmetic in
+// the estimate, so they are instead required to agree exactly on the
+// architectural counts (retired/fetched — same trace either way) and on IPC
+// within verifyTolerance.
+func (p *Pool) verifyLocal(ctx context.Context, prog *isa.Program, cfg uarch.Config, sp uarch.Sampling, res *Result) error {
+	if sp.Enabled() {
+		st, _, err := uarch.SimulateSampled(ctx, prog, cfg, sp)
+		if err != nil {
+			return &VerifyError{Backend: res.Backend, Program: prog.Name,
+				Detail: fmt.Sprintf("local sampled run failed where remote succeeded: %v", err)}
+		}
+		if st.Retired != res.Stats.Retired || st.Fetched != res.Stats.Fetched {
+			return &VerifyError{Backend: res.Backend, Program: prog.Name,
+				Detail: fmt.Sprintf("sampled architectural counts diverge: remote retired/fetched %d/%d, local %d/%d",
+					res.Stats.Retired, res.Stats.Fetched, st.Retired, st.Fetched)}
+		}
+		local, rem := st.IPC(), res.Stats.IPC()
+		if local == 0 || math.Abs(rem-local)/local > verifyTolerance {
+			return &VerifyError{Backend: res.Backend, Program: prog.Name,
+				Detail: fmt.Sprintf("sampled IPC diverges beyond tolerance: remote %.12f, local %.12f", rem, local)}
+		}
+		return nil
+	}
 	st, err := uarch.SimulateChecked(ctx, prog, cfg)
 	if err != nil {
 		return &VerifyError{Backend: res.Backend, Program: prog.Name,

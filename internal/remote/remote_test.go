@@ -336,7 +336,7 @@ func TestHedgeWinsOnStraggler(t *testing.T) {
 	found := false
 	for w := 1; w <= 64 && !found; w++ {
 		cfg = uarch.OutOfOrderConfig(w)
-		if _, key, err := encodeRequest(prog, cfg, 0); err == nil && pool.ring.candidates(key)[0] == 0 {
+		if _, key, err := encodeRequest(prog, cfg, 0, uarch.Sampling{}); err == nil && pool.ring.candidates(key)[0] == 0 {
 			found = true
 		}
 	}

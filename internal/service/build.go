@@ -51,6 +51,12 @@ type SimRequest struct {
 	// the server's per-request deadline).
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+
+	// Sampling selects interval-sampled timing (period/detail/warmup);
+	// absent runs exact. Sampled results live in a cache keyspace disjoint
+	// from exact ones, so the same program+config never aliases across
+	// modes.
+	Sampling *uarch.Sampling `json:"sampling,omitempty"`
 }
 
 // Built is a fully resolved simulation: the program to run, the validated
@@ -59,6 +65,7 @@ type Built struct {
 	Program  *isa.Program
 	Config   uarch.Config
 	Braided  bool
+	Sampling uarch.Sampling // zero: exact timing
 	ProgHash string
 	ConfHash string
 	Timeout  time.Duration // request-level wall-clock bound (0: server default)
@@ -66,7 +73,16 @@ type Built struct {
 
 // Key is the result-cache and coalescing key: requests that resolve to the
 // same program bytes and the same configuration are the same simulation.
-func (b *Built) Key() string { return b.ProgHash + ":" + b.ConfHash }
+// Sampled requests append their geometry, so sampled estimates and exact
+// results never share an entry — and exact keys are unchanged from before
+// sampling existed.
+func (b *Built) Key() string {
+	key := b.ProgHash + ":" + b.ConfHash
+	if b.Sampling.Enabled() {
+		key += ":s" + b.Sampling.String()
+	}
+	return key
+}
 
 // Limits bound what a single request may ask of the machine; the zero value
 // applies the package defaults.
@@ -134,6 +150,12 @@ func Build(req *SimRequest, lim Limits) (*Built, error) {
 	}
 
 	b := &Built{Program: p, Config: cfg, Braided: braided, Timeout: timeout}
+	if req.Sampling != nil {
+		if err := req.Sampling.Validate(); err != nil {
+			return nil, err
+		}
+		b.Sampling = *req.Sampling
+	}
 	if b.ProgHash, err = hashProgram(p); err != nil {
 		return nil, err
 	}

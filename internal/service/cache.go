@@ -22,6 +22,7 @@ type resultCache struct {
 type cacheEntry struct {
 	key string
 	st  *uarch.Stats
+	est *uarch.SampleEstimate // non-nil only for sampled results
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -43,33 +44,46 @@ func cloneStats(st *uarch.Stats) *uarch.Stats {
 	return &c
 }
 
-func (c *resultCache) get(key string) (*uarch.Stats, bool) {
+// cloneEstimate copies a sampled run's estimate record (a flat struct, like
+// Stats); nil stays nil for exact results.
+func cloneEstimate(est *uarch.SampleEstimate) *uarch.SampleEstimate {
+	if est == nil {
+		return nil
+	}
+	c := *est
+	return &c
+}
+
+func (c *resultCache) get(key string) (*uarch.Stats, *uarch.SampleEstimate, bool) {
 	if c.cap <= 0 {
-		return nil, false
+		return nil, nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	c.ll.MoveToFront(el)
-	return cloneStats(el.Value.(*cacheEntry).st), true
+	e := el.Value.(*cacheEntry)
+	return cloneStats(e.st), cloneEstimate(e.est), true
 }
 
-func (c *resultCache) put(key string, st *uarch.Stats) {
+func (c *resultCache) put(key string, st *uarch.Stats, est *uarch.SampleEstimate) {
 	if c.cap <= 0 {
 		return
 	}
 	st = cloneStats(st) // the cache owns its copy; the caller keeps theirs
+	est = cloneEstimate(est)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).st = st
+		e := el.Value.(*cacheEntry)
+		e.st, e.est = st, est
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, st: st})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, st: st, est: est})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -89,6 +103,7 @@ func (c *resultCache) len() int {
 type flight struct {
 	done  chan struct{}
 	st    *uarch.Stats
+	est   *uarch.SampleEstimate // non-nil only for sampled runs
 	err   error
 	simMS float64
 }
@@ -121,8 +136,8 @@ func (g *flightGroup) join(key string) (*flight, bool) {
 // complete publishes the leader's outcome and releases the followers. The
 // key is removed before done closes, so requests arriving after completion
 // start fresh (and hit the result cache on success).
-func (g *flightGroup) complete(key string, fl *flight, st *uarch.Stats, err error, simMS float64) {
-	fl.st, fl.err, fl.simMS = st, err, simMS
+func (g *flightGroup) complete(key string, fl *flight, st *uarch.Stats, est *uarch.SampleEstimate, err error, simMS float64) {
+	fl.st, fl.est, fl.err, fl.simMS = st, est, err, simMS
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()

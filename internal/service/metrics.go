@@ -17,23 +17,25 @@ type metrics struct {
 	start time.Time
 	m     *expvar.Map
 
-	requests  expvar.Int // requests entering any endpoint
-	resp2xx   expvar.Int
-	resp4xx   expvar.Int
-	resp5xx   expvar.Int
-	shed      expvar.Int // 429s from a full admission queue
-	cacheHits expvar.Int
-	cacheMiss expvar.Int // flight leaders only: actual simulator demand
-	coalesced expvar.Int // followers served by another request's run
-	reelected expvar.Int // followers that re-led a flight after leader cancellation
-	simRuns   expvar.Int // simulations actually executed
-	simInstrs expvar.Int // instructions retired by executed simulations
-	simCycles expvar.Int // cycles simulated by executed simulations
-	simNanos  expvar.Int // wall-clock nanoseconds spent simulating
-	faults    expvar.Int // contained *uarch.SimFault + compile faults
-	cycleLim  expvar.Int // ErrCycleLimit failures
-	deadline  expvar.Int // wall-clock deadline failures
-	canceled  expvar.Int // client-abandoned simulations
+	requests    expvar.Int // requests entering any endpoint
+	resp2xx     expvar.Int
+	resp4xx     expvar.Int
+	resp5xx     expvar.Int
+	shed        expvar.Int // 429s from a full admission queue
+	cacheHits   expvar.Int
+	cacheMiss   expvar.Int // flight leaders only: actual simulator demand
+	coalesced   expvar.Int // followers served by another request's run
+	reelected   expvar.Int // followers that re-led a flight after leader cancellation
+	simRuns     expvar.Int // simulations actually executed
+	simInstrs   expvar.Int // instructions retired by executed simulations
+	simDetailed expvar.Int // ... of which ran on the detailed engine
+	simFFwd     expvar.Int // ... of which were functionally fast-forwarded
+	simCycles   expvar.Int // cycles simulated by executed simulations
+	simNanos    expvar.Int // wall-clock nanoseconds spent simulating
+	faults      expvar.Int // contained *uarch.SimFault + compile faults
+	cycleLim    expvar.Int // ErrCycleLimit failures
+	deadline    expvar.Int // wall-clock deadline failures
+	canceled    expvar.Int // client-abandoned simulations
 
 	histMu sync.Mutex
 	hists  map[string]*latencyHist // endpoint -> request latency
@@ -56,6 +58,8 @@ func newMetrics(start time.Time) *metrics {
 		{"coalesce_reelected_total", &mt.reelected},
 		{"sim_runs_total", &mt.simRuns},
 		{"sim_instructions_total", &mt.simInstrs},
+		{"sim_detailed_instructions_total", &mt.simDetailed},
+		{"sim_fastforward_instructions_total", &mt.simFFwd},
 		{"sim_cycles_total", &mt.simCycles},
 		{"sim_busy_ns_total", &mt.simNanos},
 		{"faults_contained_total", &mt.faults},
@@ -68,14 +72,18 @@ func newMetrics(start time.Time) *metrics {
 	mt.m.Set("uptime_seconds", expvar.Func(func() any {
 		return time.Since(mt.start).Seconds()
 	}))
-	// simulated_mips: simulated instructions per microsecond of simulator
-	// busy time — the service-level analogue of braidbench's MIPS figure.
+	// simulated_mips: detailed-engine instructions per microsecond of
+	// simulator busy time — the service-level analogue of braidbench's MIPS
+	// figure. Only detailed work counts: a sampled run's fast-forwarded
+	// leap would otherwise inflate the engine's apparent speed. The
+	// sweep-level effective rate is derivable from
+	// sim_instructions_total / sim_busy_ns_total.
 	mt.m.Set("simulated_mips", expvar.Func(func() any {
 		ns := mt.simNanos.Value()
 		if ns == 0 {
 			return 0.0
 		}
-		return float64(mt.simInstrs.Value()) / (float64(ns) / 1e3)
+		return float64(mt.simDetailed.Value()) / (float64(ns) / 1e3)
 	}))
 	mt.m.Set("latency_ms", expvar.Func(mt.latencySnapshot))
 	return mt

@@ -122,18 +122,29 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // is http.Server.Shutdown's job; call this first.
 func (s *Server) StartDrain() { s.draining.Store(true) }
 
-// SimResponse is the success body of POST /v1/simulate.
+// SimResponse is the success body of POST /v1/simulate. Sampling is present
+// exactly when the request asked for interval-sampled timing; exact
+// responses are byte-identical to the pre-sampling schema.
 type SimResponse struct {
-	Program     string       `json:"program"`
-	Core        string       `json:"core"`
-	Width       int          `json:"width"`
-	Braided     bool         `json:"braided"`
-	ProgramHash string       `json:"program_hash"`
-	ConfigHash  string       `json:"config_hash"`
-	IPC         float64      `json:"ipc"`
-	Stats       *uarch.Stats `json:"stats"`
-	Source      string       `json:"source"` // run, cache, or coalesced
-	SimMS       float64      `json:"sim_ms"` // leader's wall-clock simulation time
+	Program     string        `json:"program"`
+	Core        string        `json:"core"`
+	Width       int           `json:"width"`
+	Braided     bool          `json:"braided"`
+	ProgramHash string        `json:"program_hash"`
+	ConfigHash  string        `json:"config_hash"`
+	IPC         float64       `json:"ipc"`
+	Stats       *uarch.Stats  `json:"stats"`
+	Sampling    *SampledBlock `json:"sampling,omitempty"`
+	Source      string        `json:"source"` // run, cache, or coalesced
+	SimMS       float64       `json:"sim_ms"` // leader's wall-clock simulation time
+}
+
+// SampledBlock is the sampled-timing section of a SimResponse: the geometry
+// the run used and the estimate's provenance (interval count, detailed vs
+// fast-forwarded split, confidence interval).
+type SampledBlock struct {
+	Geometry uarch.Sampling        `json:"geometry"`
+	Estimate *uarch.SampleEstimate `json:"estimate"`
 }
 
 // ErrorBody is the error payload, wrapped as {"error": {...}}.
@@ -150,6 +161,7 @@ type errorEnvelope struct {
 // simResult is what runSim hands back on success.
 type simResult struct {
 	st     *uarch.Stats
+	est    *uarch.SampleEstimate // non-nil only for sampled runs
 	source string
 	simMS  float64
 }
@@ -265,9 +277,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runSim(ctx context.Context, b *Built, shed bool) (*simResult, error) {
 	key := b.Key()
 	for {
-		if st, ok := s.cache.get(key); ok {
+		if st, est, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Add(1)
-			return &simResult{st: st, source: "cache"}, nil
+			return &simResult{st: st, est: est, source: "cache"}, nil
 		}
 
 		fl, leader := s.flights.join(key)
@@ -282,25 +294,31 @@ func (s *Server) runSim(ctx context.Context, b *Built, shed bool) (*simResult, e
 					}
 					return nil, fl.err
 				}
-				return &simResult{st: cloneStats(fl.st), source: "coalesced", simMS: fl.simMS}, nil
+				return &simResult{st: cloneStats(fl.st), est: cloneEstimate(fl.est), source: "coalesced", simMS: fl.simMS}, nil
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
 		}
 
 		s.met.cacheMiss.Add(1)
-		st, simMS, err := s.lead(ctx, key, b, shed)
-		s.flights.complete(key, fl, st, err, simMS)
+		st, est, simMS, err := s.lead(ctx, key, b, shed)
+		s.flights.complete(key, fl, st, est, err, simMS)
 		if err != nil {
 			s.classifyFailure(err)
 			return nil, err
 		}
-		s.cache.put(key, st)
+		s.cache.put(key, st, est)
 		s.met.simRuns.Add(1)
 		s.met.simInstrs.Add(int64(st.Retired))
 		s.met.simCycles.Add(int64(st.Cycles))
+		if est != nil && !est.Exact {
+			s.met.simDetailed.Add(int64(est.DetailedInstrs))
+			s.met.simFFwd.Add(int64(est.FFwdInstrs))
+		} else {
+			s.met.simDetailed.Add(int64(st.Retired))
+		}
 		s.met.simNanos.Add(int64(simMS * 1e6))
-		return &simResult{st: st, source: "run", simMS: simMS}, nil
+		return &simResult{st: st, est: est, source: "run", simMS: simMS}, nil
 	}
 }
 
@@ -312,13 +330,13 @@ func isCancellation(err error) bool {
 
 // lead is the flight leader's path: pass admission, take a worker slot, and
 // simulate under the request's wall-clock deadline.
-func (s *Server) lead(ctx context.Context, key string, b *Built, shed bool) (*uarch.Stats, float64, error) {
+func (s *Server) lead(ctx context.Context, key string, b *Built, shed bool) (*uarch.Stats, *uarch.SampleEstimate, float64, error) {
 	if err := s.adm.admit(ctx, shed); err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	defer s.adm.releaseQueue()
 	if err := s.adm.acquire(ctx); err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	defer s.adm.releaseSlot()
 	if h := s.testHookSimStart; h != nil {
@@ -327,8 +345,17 @@ func (s *Server) lead(ctx context.Context, key string, b *Built, shed bool) (*ua
 	simCtx, cancel := context.WithTimeout(ctx, b.Timeout)
 	defer cancel()
 	t0 := time.Now()
-	st, err := uarch.SimulateChecked(simCtx, b.Program, b.Config)
-	return st, float64(time.Since(t0).Nanoseconds()) / 1e6, err
+	var (
+		st  *uarch.Stats
+		est *uarch.SampleEstimate
+		err error
+	)
+	if b.Sampling.Enabled() {
+		st, est, err = uarch.SimulateSampled(simCtx, b.Program, b.Config, b.Sampling)
+	} else {
+		st, err = uarch.SimulateChecked(simCtx, b.Program, b.Config)
+	}
+	return st, est, float64(time.Since(t0).Nanoseconds()) / 1e6, err
 }
 
 func (s *Server) classifyFailure(err error) {
@@ -399,7 +426,7 @@ func (s *Server) response(b *Built, res *simResult) SimResponse {
 	if res.st.Cycles > 0 {
 		ipc = float64(res.st.Retired) / float64(res.st.Cycles)
 	}
-	return SimResponse{
+	resp := SimResponse{
 		Program:     b.Program.Name,
 		Core:        b.Config.Core.String(),
 		Width:       b.Config.IssueWidth,
@@ -411,6 +438,10 @@ func (s *Server) response(b *Built, res *simResult) SimResponse {
 		Source:      res.source,
 		SimMS:       res.simMS,
 	}
+	if b.Sampling.Enabled() {
+		resp.Sampling = &SampledBlock{Geometry: b.Sampling, Estimate: res.est}
+	}
+	return resp
 }
 
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {

@@ -436,17 +436,17 @@ func TestBuildKeyStability(t *testing.T) {
 func TestLRUEviction(t *testing.T) {
 	c := newResultCache(2)
 	s1, s2, s3 := &uarch.Stats{Cycles: 1}, &uarch.Stats{Cycles: 2}, &uarch.Stats{Cycles: 3}
-	c.put("a", s1)
-	c.put("b", s2)
+	c.put("a", s1, nil)
+	c.put("b", s2, nil)
 	c.get("a") // a is now most recent
-	c.put("c", s3)
-	if _, ok := c.get("b"); ok {
+	c.put("c", s3, nil)
+	if _, _, ok := c.get("b"); ok {
 		t.Error("least-recently-used entry survived eviction")
 	}
-	if st, ok := c.get("a"); !ok || st.Cycles != 1 {
+	if st, _, ok := c.get("a"); !ok || st.Cycles != 1 {
 		t.Error("recently-used entry evicted")
 	}
-	if _, ok := c.get("c"); !ok {
+	if _, _, ok := c.get("c"); !ok {
 		t.Error("new entry missing")
 	}
 	if c.len() != 2 {
@@ -546,16 +546,16 @@ func TestLeaderAbortReelection(t *testing.T) {
 func TestCacheReturnsCopies(t *testing.T) {
 	c := newResultCache(4)
 	orig := &uarch.Stats{Cycles: 10, Retired: 5}
-	c.put("k", orig)
+	c.put("k", orig, nil)
 	orig.Cycles = 999 // the producer reuses its struct after the put
 
-	st1, ok := c.get("k")
+	st1, _, ok := c.get("k")
 	if !ok || st1.Cycles != 10 {
 		t.Fatalf("first hit: %+v, want Cycles=10 (insulated from producer)", st1)
 	}
 	st1.Retired = 12345 // a consumer scribbles on its copy
 
-	st2, ok := c.get("k")
+	st2, _, ok := c.get("k")
 	if !ok || st2.Retired != 5 || st2.Cycles != 10 {
 		t.Fatalf("second hit: %+v, want the original Cycles=10 Retired=5", st2)
 	}
@@ -712,5 +712,92 @@ func TestLatencyHistQuantiles(t *testing.T) {
 	}
 	if max := snap["max_ms"].(float64); max < 499 {
 		t.Errorf("max = %v ms, want ~500", max)
+	}
+}
+
+// TestSampledRequest: a sampled request returns a sampling block whose
+// estimate reflects real fast-forwarding, lives in a cache keyspace disjoint
+// from the exact result for the same point, and splits the service's
+// simulated-instruction metrics into detailed vs fast-forwarded work.
+func TestSampledRequest(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	type sampledResponse struct {
+		rawResponse
+		Sampling *struct {
+			Geometry uarch.Sampling        `json:"geometry"`
+			Estimate *uarch.SampleEstimate `json:"estimate"`
+		} `json:"sampling"`
+	}
+	post := func(body string) sampledResponse {
+		t.Helper()
+		resp, data := postJSON(t, ts.URL+"/v1/simulate", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var r sampledResponse
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	const exact = `{"workload":"gcc","iters":2000,"core":"ooo","width":8}`
+	const sampled = `{"workload":"gcc","iters":2000,"core":"ooo","width":8,"sampling":{"period":12000,"detail":4000,"warmup":4000}}`
+
+	ex := post(exact)
+	if ex.Sampling != nil {
+		t.Fatal("exact response carries a sampling block")
+	}
+
+	// Same program+config, sampled: must be a fresh run, not the exact
+	// cache entry — the keyspaces are disjoint.
+	sp := post(sampled)
+	if sp.Source != "run" {
+		t.Fatalf("sampled request source %q, want run (exact cache must not alias)", sp.Source)
+	}
+	if sp.Sampling == nil || sp.Sampling.Estimate == nil {
+		t.Fatal("sampled response missing sampling block or estimate")
+	}
+	est := sp.Sampling.Estimate
+	if est.Exact {
+		t.Fatal("sampled run fell back to exact for a multi-interval program")
+	}
+	if est.FFwdInstrs == 0 || est.Intervals < 2 {
+		t.Fatalf("estimate shows no sampling: %+v", est)
+	}
+	if relErr := (sp.IPC - ex.IPC) / ex.IPC; relErr < -0.25 || relErr > 0.25 {
+		t.Errorf("sampled IPC %.4f vs exact %.4f: error beyond any plausible bound", sp.IPC, ex.IPC)
+	}
+
+	// Repeats hit the sampled cache entry and round-trip the estimate.
+	sp2 := post(sampled)
+	if sp2.Source != "cache" {
+		t.Errorf("repeat sampled request source %q, want cache", sp2.Source)
+	}
+	if sp2.Sampling == nil || sp2.Sampling.Estimate == nil || *sp2.Sampling.Estimate != *est {
+		t.Error("cached sampled response lost or changed the estimate")
+	}
+
+	// /metrics splits engine work: the fast-forwarded leap is visible, and
+	// detailed + fast-forwarded accounts for every retired instruction.
+	_, mdata := getURL(t, ts.URL+"/metrics")
+	var m map[string]any
+	if err := json.Unmarshal(mdata, &m); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	detailed, _ := m["sim_detailed_instructions_total"].(float64)
+	ffwd, _ := m["sim_fastforward_instructions_total"].(float64)
+	instrs, _ := m["sim_instructions_total"].(float64)
+	if ffwd != float64(est.FFwdInstrs) {
+		t.Errorf("sim_fastforward_instructions_total = %v, want %d", ffwd, est.FFwdInstrs)
+	}
+	if detailed+ffwd != instrs {
+		t.Errorf("detailed %v + fastforward %v != sim_instructions_total %v", detailed, ffwd, instrs)
+	}
+	if mips, _ := m["simulated_mips"].(float64); mips <= 0 {
+		t.Errorf("simulated_mips = %v, want > 0", m["simulated_mips"])
 	}
 }

@@ -168,6 +168,13 @@ func New(p *isa.Program, cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newMachine(p, cfg, hier)
+}
+
+// newMachine wires a machine around an already-built memory hierarchy; cfg
+// must be validated. Sampled simulation uses it to hand detailed measurement
+// intervals a functionally warmed hierarchy instead of the shared prototype.
+func newMachine(p *isa.Program, cfg Config, hier *mem.Hierarchy) (*Machine, error) {
 	m := &Machine{cfg: cfg, prog: p, hier: hier}
 	for c := range m.latTab {
 		m.latTab[c] = uint64(latencyClass(&cfg, isa.Class(c)))
