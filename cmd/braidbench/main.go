@@ -17,6 +17,10 @@
 // -resume behave identically to local runs. -hedge duplicates straggling
 // requests onto a second backend, and -remote-verify N re-simulates ~1 in N
 // points locally and requires the remote stats to match byte for byte.
+// Per-backend circuit breakers skip tripped backends automatically; -probe
+// adds a background health prober that ejects dead backends and reintegrates
+// them when they recover, and -fallback local degrades to in-process
+// simulation when the whole fleet is unavailable, keeping output identical.
 //
 // Usage:
 //
@@ -68,6 +72,8 @@ func main() {
 		remoteList = flag.String("remote", "", "comma-separated braidd base URLs; simulations run on these backends")
 		hedge      = flag.Bool("hedge", false, "hedge slow remote requests onto a second backend (needs -remote)")
 		remoteVer  = flag.Int("remote-verify", 0, "cross-check sampled remote results against local simulation, ~1 in N points (needs -remote; 0: off)")
+		fallback   = flag.String("fallback", "fail", "when every backend attempt fails: 'local' simulates in-process, 'fail' contains the point (needs -remote)")
+		probe      = flag.Duration("probe", 0, "background health-probe interval; ejects dead backends and reintegrates recovered ones (needs -remote; 0: off)")
 		sample     = flag.String("sample", "", "interval sampling geometry period:detail[:warmup]; empty runs exact")
 		accuracy   = flag.String("sampling-accuracy", "", "write an exact-vs-sampled suite accuracy report (JSON) to this file and exit")
 	)
@@ -149,12 +155,17 @@ func main() {
 	}
 	var pool *remote.Pool
 	if *remoteList != "" {
-		var perr error
+		fb, perr := remote.ParseFallback(*fallback)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "braidbench: %v\n", perr)
+			os.Exit(1)
+		}
 		pool, perr = remote.NewPool(remote.Options{
 			Backends:    strings.Split(*remoteList, ","),
 			Hedge:       *hedge,
 			VerifyEvery: *remoteVer,
 			TimeoutMS:   simTimeout.Milliseconds(),
+			Fallback:    fb,
 		})
 		if perr == nil {
 			var down []string
@@ -165,6 +176,10 @@ func main() {
 		if perr != nil {
 			fmt.Fprintf(os.Stderr, "braidbench: %v\n", perr)
 			os.Exit(1)
+		}
+		if *probe > 0 {
+			stop := pool.StartProber(ctx, *probe)
+			defer stop()
 		}
 		w.SetRunner(pool)
 		fmt.Fprintf(os.Stderr, "braidbench: remote execution over %d backend(s)\n", len(pool.Backends()))

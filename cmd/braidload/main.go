@@ -53,6 +53,7 @@ func main() {
 		wait      = flag.Duration("wait", 15*time.Second, "how long to wait for /healthz before starting")
 		verify    = flag.Bool("verify", false, "simulate each unique request locally and demand bit-identical Stats")
 		hedge     = flag.Bool("hedge", false, "hedge slow requests onto a second backend (pool mode)")
+		probe     = flag.Duration("probe", 0, "background health-probe interval for the pool (pool mode; 0: off)")
 		out       = flag.String("out", "", "write the benchmark JSON here as well as stdout")
 	)
 	flag.Parse()
@@ -69,7 +70,7 @@ func main() {
 
 	var res *loadResult
 	if len(addrs) > 1 {
-		res = runPoolMode(addrs, mix, *conc, *total, *verify, *hedge, *timeout, *wait, client)
+		res = runPoolMode(addrs, mix, *conc, *total, *verify, *hedge, *timeout, *wait, *probe, client)
 	} else {
 		if err := waitHealthy(client, addrs[0], *wait); err != nil {
 			log.Fatalf("braidload: %v", err)
@@ -235,7 +236,7 @@ type loadResult struct {
 // runPoolMode drives the request mix through the internal/remote pool:
 // consistent-hash routing, retry/failover, and optional hedging across every
 // backend — the distributed analogue of the single-server burst.
-func runPoolMode(addrs []string, mix []mixItem, conc, total int, verify, hedge bool, timeout, wait time.Duration, client *http.Client) *loadResult {
+func runPoolMode(addrs []string, mix []mixItem, conc, total int, verify, hedge bool, timeout, wait, probe time.Duration, client *http.Client) *loadResult {
 	ctx := context.Background()
 	pool, err := remote.NewPool(remote.Options{
 		Backends: addrs,
@@ -244,6 +245,10 @@ func runPoolMode(addrs []string, mix []mixItem, conc, total int, verify, hedge b
 	})
 	if err != nil {
 		log.Fatalf("braidload: %v", err)
+	}
+	if probe > 0 {
+		stop := pool.StartProber(ctx, probe)
+		defer stop()
 	}
 	deadline := time.Now().Add(wait)
 	for {

@@ -60,6 +60,8 @@ func main() {
 		remoteList = flag.String("remote", "", "comma-separated braidd base URLs; -ipc simulations run on these backends")
 		hedge      = flag.Bool("hedge", false, "hedge slow remote requests onto a second backend (needs -remote)")
 		remoteVer  = flag.Int("remote-verify", 0, "cross-check sampled remote results against local simulation, ~1 in N (needs -remote; 0: off)")
+		fallback   = flag.String("fallback", "fail", "when every backend attempt fails: 'local' simulates in-process, 'fail' reports the error (needs -remote)")
+		probe      = flag.Duration("probe", 0, "background health-probe interval for the remote pool (needs -remote; 0: off)")
 		sample     = flag.String("sample", "", "interval sampling geometry period:detail[:warmup] for -ipc simulations; empty runs exact")
 	)
 	flag.Parse()
@@ -78,10 +80,15 @@ func main() {
 			return uarch.SimulateSampled(ctx, p, cfg, sampling)
 		}
 		if *remoteList != "" {
+			fb, err := remote.ParseFallback(*fallback)
+			if err != nil {
+				fatal(err)
+			}
 			pool, err := remote.NewPool(remote.Options{
 				Backends:    strings.Split(*remoteList, ","),
 				Hedge:       *hedge,
 				VerifyEvery: *remoteVer,
+				Fallback:    fb,
 			})
 			if err == nil {
 				var down []string
@@ -91,6 +98,10 @@ func main() {
 			}
 			if err != nil {
 				fatal(err)
+			}
+			if *probe > 0 {
+				stopProbe := pool.StartProber(ctx, *probe)
+				defer stopProbe()
 			}
 			sim = func(p *isa.Program, cfg uarch.Config) (*uarch.Stats, *uarch.SampleEstimate, error) {
 				return pool.SimulateSampled(ctx, p, cfg, sampling)

@@ -1,0 +1,209 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one backend's circuit-breaker position.
+type breakerState int
+
+const (
+	stateClosed   breakerState = iota // healthy: requests flow
+	stateOpen                         // tripped: requests short-circuit until cooldown
+	stateHalfOpen                     // cooling down: one probe request at a time
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerConfig tunes one breaker; zero fields take the pool defaults.
+type breakerConfig struct {
+	threshold int           // consecutive failures that trip the breaker
+	window    int           // outcome ring length for rate tripping
+	rate      float64       // failure fraction over a full window that trips
+	cooldown  time.Duration // open -> half-open delay, and probe expiry
+}
+
+// breaker is a per-backend circuit breaker. Closed, it records outcomes and
+// trips open on either a run of consecutive failures or a failure rate over
+// a sliding outcome window; open, it short-circuits requests until cooldown
+// has passed; half-open, it admits one probe at a time — a probe success
+// closes the breaker, a failure re-opens it, and an unreported probe (the
+// caller was canceled mid-flight) expires after another cooldown so the
+// breaker can never deadlock waiting on a verdict that will not come.
+//
+// All methods take the clock as a parameter, so state-machine tests drive
+// time synthetically.
+type breaker struct {
+	mu  sync.Mutex
+	cfg breakerConfig
+
+	state    breakerState
+	consec   int    // consecutive failures while closed
+	ring     []bool // sliding outcome window; true = failure
+	ringN    int    // valid entries
+	ringPos  int
+	openedAt time.Time
+	probing  bool
+	probeAt  time.Time
+
+	trips  uint64 // closed->open transitions, ejects and re-opens included
+	probes uint64 // half-open probes granted
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	if cfg.threshold <= 0 {
+		cfg.threshold = 3
+	}
+	if cfg.window <= 0 {
+		cfg.window = 20
+	}
+	if cfg.rate <= 0 || cfg.rate > 1 {
+		cfg.rate = 0.5
+	}
+	if cfg.cooldown <= 0 {
+		cfg.cooldown = time.Second
+	}
+	return &breaker{cfg: cfg, ring: make([]bool, cfg.window)}
+}
+
+// allow reports whether a request may be sent now. While half-open it grants
+// at most one in-flight probe per cooldown period.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if now.Sub(b.openedAt) < b.cfg.cooldown {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		b.probeAt = now
+		b.probes++
+		return true
+	default: // half-open
+		if b.probing && now.Sub(b.probeAt) <= b.cfg.cooldown {
+			return false // a probe is already in flight and not yet expired
+		}
+		b.probing = true
+		b.probeAt = now
+		b.probes++
+		return true
+	}
+}
+
+// success records an authoritative answer from the backend: it closes a
+// half-open (or stale open) breaker and clears the failure run.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != stateClosed {
+		b.resetLocked()
+		return
+	}
+	b.consec = 0
+	b.recordLocked(false)
+}
+
+// failure records a failed attempt, tripping or re-opening as configured.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateHalfOpen:
+		// The probe failed: back to fully open, restart the cooldown.
+		b.state = stateOpen
+		b.openedAt = now
+		b.probing = false
+		b.trips++
+	case stateClosed:
+		b.consec++
+		b.recordLocked(true)
+		if b.consec >= b.cfg.threshold || b.rateTrippedLocked() {
+			b.tripLocked(now)
+		}
+	case stateOpen:
+		// A stale in-flight failure from before the trip: nothing to learn,
+		// and extending the cooldown for it would delay recovery.
+	}
+}
+
+// eject force-opens the breaker (the health prober declared the backend
+// down). Repeated ejects refresh the cooldown so the request path keeps
+// short-circuiting for as long as the prober keeps failing.
+func (b *breaker) eject(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != stateOpen {
+		b.trips++
+	}
+	b.state = stateOpen
+	b.openedAt = now
+	b.probing = false
+}
+
+// reinstate force-closes the breaker (the health prober's canary passed).
+func (b *breaker) reinstate() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resetLocked()
+}
+
+// snapshot returns the state name and lifetime trip/probe counts.
+func (b *breaker) snapshot() (state string, trips, probes uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.trips, b.probes
+}
+
+func (b *breaker) tripLocked(now time.Time) {
+	b.state = stateOpen
+	b.openedAt = now
+	b.probing = false
+	b.trips++
+	b.consec = 0
+	b.ringN, b.ringPos = 0, 0
+}
+
+func (b *breaker) resetLocked() {
+	b.state = stateClosed
+	b.consec = 0
+	b.ringN, b.ringPos = 0, 0
+	b.probing = false
+}
+
+func (b *breaker) recordLocked(failed bool) {
+	b.ring[b.ringPos] = failed
+	b.ringPos = (b.ringPos + 1) % len(b.ring)
+	if b.ringN < len(b.ring) {
+		b.ringN++
+	}
+}
+
+// rateTrippedLocked reports whether a full outcome window's failure fraction
+// has reached the configured rate. It never fires on a partial window, so a
+// cold breaker cannot trip on its very first blip.
+func (b *breaker) rateTrippedLocked() bool {
+	if b.ringN < len(b.ring) {
+		return false
+	}
+	failed := 0
+	for _, f := range b.ring {
+		if f {
+			failed++
+		}
+	}
+	return float64(failed)/float64(len(b.ring)) >= b.cfg.rate
+}

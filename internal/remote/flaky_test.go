@@ -3,66 +3,31 @@ package remote
 import (
 	"context"
 	"math"
-	"net"
 	"net/http"
 	"net/http/httptest"
-	"net/http/httputil"
-	"net/url"
-	"sync/atomic"
 	"testing"
 	"time"
 
+	"braid/internal/chaos"
 	"braid/internal/experiments"
 	"braid/internal/service"
 	"braid/internal/uarch"
 )
 
-// flakyProxy fronts a healthy braidd with injected failures: every third
-// simulate request is refused, alternating between a 429 with a Retry-After
-// hint and a raw connection reset. Health checks pass through untouched so
-// Ping sees a live fleet.
-type flakyProxy struct {
-	backend *httputil.ReverseProxy
-	seq     atomic.Int64
-	faults  atomic.Int64
-}
-
-func newFlakyProxy(t *testing.T, backendURL string) (*httptest.Server, *flakyProxy) {
+// newFlakyProxy fronts a healthy braidd with injected failures via the
+// shared chaos proxy: every third simulate request is refused, alternating
+// between a raw connection reset and a 429 with a Retry-After hint. Health
+// checks pass through untouched so Ping sees a live fleet.
+func newFlakyProxy(t *testing.T, backendURL string) (*httptest.Server, *chaos.Proxy) {
 	t.Helper()
-	u, err := url.Parse(backendURL)
+	p, err := chaos.New(backendURL, chaos.EveryN(3,
+		chaos.Fault{Kind: chaos.Reset},
+		chaos.Fault{Kind: chaos.Status, Status: http.StatusTooManyRequests, RetryAfter: "1"},
+	))
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp := &flakyProxy{backend: httputil.NewSingleHostReverseProxy(u)}
-	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method == http.MethodPost && r.URL.Path == "/v1/simulate" {
-			if n := fp.seq.Add(1); n%3 == 0 {
-				fp.faults.Add(1)
-				if n%2 == 0 {
-					// A shed: the client must back off and retry.
-					w.Header().Set("Retry-After", "1")
-					w.WriteHeader(http.StatusTooManyRequests)
-				} else {
-					// A connection reset: the client must fail over.
-					hj, ok := w.(http.Hijacker)
-					if !ok {
-						w.WriteHeader(http.StatusInternalServerError)
-						return
-					}
-					conn, _, err := hj.Hijack()
-					if err == nil {
-						if tc, ok := conn.(*net.TCPConn); ok {
-							tc.SetLinger(0) // RST, not FIN
-						}
-						conn.Close()
-					}
-				}
-				return
-			}
-		}
-		fp.backend.ServeHTTP(w, r)
-	}))
-	return ts, fp
+	return httptest.NewServer(p), p
 }
 
 // TestFlakyBackendsConvergeBitIdentical is the distributed-execution
@@ -76,7 +41,7 @@ func TestFlakyBackendsConvergeBitIdentical(t *testing.T) {
 		t.Skip("distributed soak test")
 	}
 
-	var proxies []*flakyProxy
+	var proxies []*chaos.Proxy
 	var urls []string
 	for i := 0; i < 2; i++ {
 		backend := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
@@ -161,12 +126,13 @@ func TestFlakyBackendsConvergeBitIdentical(t *testing.T) {
 	}
 
 	s := pool.Snapshot()
-	injected := proxies[0].faults.Load() + proxies[1].faults.Load()
+	injected := proxies[0].Faults() + proxies[1].Faults()
 	if injected == 0 {
 		t.Fatal("the proxies never injected a fault; the soak proved nothing")
 	}
 	if s.Retries == 0 {
 		t.Error("no retries despite injected faults")
 	}
-	t.Logf("pool: %s; injected faults: %d", pool, injected)
+	t.Logf("pool: %s; injected faults: %d (%s | %s)",
+		pool, injected, proxies[0].Counters(), proxies[1].Counters())
 }

@@ -54,6 +54,41 @@ type Options struct {
 	VerifyEvery int           // locally re-simulate every point whose key hashes to 0 mod N (0: off)
 	Replicas    int           // virtual nodes per backend on the ring (default 64)
 	Client      *http.Client  // HTTP client (default: fresh client, per-attempt timeout via context)
+
+	Fallback       FallbackPolicy // what to do when every attempt fails (default FallbackFail)
+	DisableBreaker bool           // route to every backend regardless of breaker state
+
+	BreakerThreshold int           // consecutive failures that trip a backend's breaker (default 3)
+	BreakerWindow    int           // sliding outcome window for error-rate tripping (default 20)
+	BreakerRate      float64       // failure fraction over a full window that trips (default 0.5)
+	BreakerCooldown  time.Duration // open -> half-open probe delay (default 1s)
+}
+
+// FallbackPolicy selects what a Pool does when a point exhausts every
+// attempt (or every breaker is open): fail with a transient Unavailable, or
+// degrade to in-process simulation.
+type FallbackPolicy int
+
+const (
+	// FallbackFail surfaces Unavailable; the sweep aborts (the error is
+	// transient, so memo caches refuse it and -resume retries it).
+	FallbackFail FallbackPolicy = iota
+	// FallbackLocal runs the point on the local simulator instead. Local
+	// execution is the determinism reference the fleet is verified against,
+	// so results — and therefore memoization, checkpoints, and stdout — are
+	// bit-identical to a healthy fleet's; only throughput degrades.
+	FallbackLocal
+)
+
+// ParseFallback parses the -fallback flag value.
+func ParseFallback(s string) (FallbackPolicy, error) {
+	switch s {
+	case "", "fail":
+		return FallbackFail, nil
+	case "local":
+		return FallbackLocal, nil
+	}
+	return FallbackFail, fmt.Errorf("remote: unknown fallback policy %q (want local or fail)", s)
 }
 
 // Pool routes simulation points to braidd backends.
@@ -70,6 +105,16 @@ type Pool struct {
 	hedgeWins  atomic.Uint64
 	verified   atomic.Uint64
 	perBackend []atomic.Uint64 // successful responses per backend
+
+	failedAttempts    atomic.Uint64 // HTTP attempts that came back retryable
+	shortCircuits     atomic.Uint64 // attempts skipped because a breaker was open
+	localFallbacks    atomic.Uint64 // points degraded to in-process simulation
+	integrityFailures atomic.Uint64 // responses whose stats SHA-256 did not match
+	probeFailures     atomic.Uint64 // health-prober checks that failed
+	canaryMismatches  atomic.Uint64 // canary simulations whose stats diverged
+
+	breakers []*breaker    // per-backend circuit breakers, indexed like backends
+	healthy  []atomic.Bool // prober's last verdict per backend (starts true)
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -89,6 +134,17 @@ type Stats struct {
 	HedgeWins  uint64            `json:"hedge_wins"`
 	Verified   uint64            `json:"verified"`
 	PerBackend map[string]uint64 `json:"per_backend"`
+
+	FailedAttempts    uint64            `json:"failed_attempts"`
+	ShortCircuits     uint64            `json:"short_circuits"`
+	BreakerTrips      uint64            `json:"breaker_trips"`
+	BreakerProbes     uint64            `json:"breaker_probes"`
+	LocalFallbacks    uint64            `json:"local_fallbacks"`
+	IntegrityFailures uint64            `json:"integrity_failures"`
+	ProbeFailures     uint64            `json:"probe_failures"`
+	CanaryMismatches  uint64            `json:"canary_mismatches"`
+	Breakers          map[string]string `json:"breakers"` // backend -> closed|open|half-open
+	Healthy           map[string]bool   `json:"healthy"`  // prober's last verdict per backend
 }
 
 // Result is one successfully simulated point with its provenance.
@@ -147,14 +203,27 @@ func NewPool(o Options) (*Pool, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &Pool{
+	p := &Pool{
 		backends:   backends,
 		ring:       newRing(backends, o.Replicas),
 		client:     client,
 		opt:        o,
 		perBackend: make([]atomic.Uint64, len(backends)),
+		breakers:   make([]*breaker, len(backends)),
+		healthy:    make([]atomic.Bool, len(backends)),
 		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
-	}, nil
+	}
+	bcfg := breakerConfig{
+		threshold: o.BreakerThreshold,
+		window:    o.BreakerWindow,
+		rate:      o.BreakerRate,
+		cooldown:  o.BreakerCooldown,
+	}
+	for i := range p.breakers {
+		p.breakers[i] = newBreaker(bcfg)
+		p.healthy[i].Store(true)
+	}
+	return p, nil
 }
 
 // Backends returns the normalized backend base URLs.
@@ -170,9 +239,23 @@ func (p *Pool) Snapshot() Stats {
 		HedgeWins:  p.hedgeWins.Load(),
 		Verified:   p.verified.Load(),
 		PerBackend: make(map[string]uint64, len(p.backends)),
+
+		FailedAttempts:    p.failedAttempts.Load(),
+		ShortCircuits:     p.shortCircuits.Load(),
+		LocalFallbacks:    p.localFallbacks.Load(),
+		IntegrityFailures: p.integrityFailures.Load(),
+		ProbeFailures:     p.probeFailures.Load(),
+		CanaryMismatches:  p.canaryMismatches.Load(),
+		Breakers:          make(map[string]string, len(p.backends)),
+		Healthy:           make(map[string]bool, len(p.backends)),
 	}
 	for i, b := range p.backends {
 		s.PerBackend[b] = p.perBackend[i].Load()
+		state, trips, probes := p.breakers[i].snapshot()
+		s.Breakers[b] = state
+		s.BreakerTrips += trips
+		s.BreakerProbes += probes
+		s.Healthy[b] = p.healthy[i].Load()
 	}
 	return s
 }
@@ -181,6 +264,14 @@ func (p *Pool) String() string {
 	s := p.Snapshot()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d requests, %d retries, %d failovers", s.Requests, s.Retries, s.Failovers)
+	fmt.Fprintf(&b, ", %d failed attempts, %d breaker trips, %d short-circuits",
+		s.FailedAttempts, s.BreakerTrips, s.ShortCircuits)
+	if s.LocalFallbacks > 0 {
+		fmt.Fprintf(&b, ", %d local fallbacks", s.LocalFallbacks)
+	}
+	if s.IntegrityFailures > 0 {
+		fmt.Fprintf(&b, ", %d integrity failures", s.IntegrityFailures)
+	}
 	if p.opt.Hedge {
 		fmt.Fprintf(&b, ", %d hedges (%d won)", s.Hedges, s.HedgeWins)
 	}
@@ -275,6 +366,14 @@ func (p *Pool) run(ctx context.Context, prog *isa.Program, cfg uarch.Config, sp 
 		res, err = p.runAttempts(ctx, key, body, cands, p.opt.MaxAttempts)
 	}
 	if err != nil {
+		var un *Unavailable
+		if p.opt.Fallback == FallbackLocal && errors.As(err, &un) {
+			// The fleet is gone or drowning; degrade to in-process
+			// simulation. Local execution is the determinism reference, so
+			// the result — and everything downstream: memo entries,
+			// checkpoints, stdout — is bit-identical to a healthy fleet's.
+			return p.runLocal(ctx, prog, cfg, sp)
+		}
 		return nil, err
 	}
 	if p.opt.VerifyEvery > 0 && hashKey(key)%uint64(p.opt.VerifyEvery) == 0 {
@@ -424,36 +523,116 @@ func (p *Pool) observeLatency(d time.Duration) {
 	p.latMu.Unlock()
 }
 
+// errBreakersOpen is the Unavailable cause when every candidate backend's
+// circuit breaker short-circuited the request before a single byte was sent.
+var errBreakersOpen = errors.New("every backend's circuit breaker is open")
+
+// pickBackend returns the first candidate, scanning ring order from the
+// attempt's rotation, whose circuit breaker admits a request. Skipped
+// backends count as short-circuits — the attempts the breaker saved.
+func (p *Pool) pickBackend(cands []int, attempt int, now time.Time) (int, bool) {
+	n := len(cands)
+	for off := 0; off < n; off++ {
+		c := cands[(attempt+off)%n]
+		if p.opt.DisableBreaker || p.breakers[c].allow(now) {
+			return c, true
+		}
+		p.shortCircuits.Add(1)
+	}
+	return 0, false
+}
+
+// noteOutcome feeds one attempt's result to the backend's breaker. An
+// overload (429) proves the backend alive — it answered, it is just
+// shedding — so it counts as breaker success even though the attempt
+// failed; tripping on shed would amplify a load spike into an ejection.
+func (p *Pool) noteOutcome(idx int, failed bool, now time.Time) {
+	if p.opt.DisableBreaker {
+		return
+	}
+	if failed {
+		p.breakers[idx].failure(now)
+	} else {
+		p.breakers[idx].success()
+	}
+}
+
 // runAttempts walks the candidate backends, retrying retryable failures with
-// exponential backoff + jitter and honoring Retry-After. Attempt k lands on
-// cands[k % len(cands)]: the consistent-hash owner first, then failover in
-// ring order, returning to the owner on later rounds in case it recovered.
+// exponential backoff + jitter and honoring Retry-After. Attempt k starts
+// from cands[k % len(cands)] — the consistent-hash owner first, then
+// failover in ring order, returning to the owner on later rounds in case it
+// recovered — and skips past backends whose breakers are open, so a tripped
+// backend costs nothing while keeping its ring position (and therefore its
+// cache affinity) for when it heals. If every breaker is open the point
+// fails fast as Unavailable rather than burning the attempt budget.
 func (p *Pool) runAttempts(ctx context.Context, key string, body []byte, cands []int, maxAttempts int) (*Result, error) {
 	var lastErr error
+	prev := -1
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		idx, ok := p.pickBackend(cands, attempt, time.Now())
+		if !ok {
+			if lastErr == nil {
+				lastErr = errBreakersOpen
+			}
+			return nil, &Unavailable{Key: key, Attempts: attempt, Last: lastErr}
+		}
 		if attempt > 0 {
 			p.retries.Add(1)
-			if cands[attempt%len(cands)] != cands[(attempt-1)%len(cands)] {
+			if idx != prev {
 				p.failovers.Add(1)
 			}
 		}
-		backend := p.backends[cands[attempt%len(cands)]]
-		res, retryAfter, err := p.call(ctx, backend, body)
+		prev = idx
+		res, retryAfter, err := p.call(ctx, p.backends[idx], body)
 		if err == nil {
 			res.Attempts = attempt + 1
-			p.perBackend[cands[attempt%len(cands)]].Add(1)
+			p.perBackend[idx].Add(1)
+			p.noteOutcome(idx, false, time.Now())
 			return res, nil
 		}
 		var re *retryableError
 		if !errors.As(err, &re) {
+			if ctx.Err() == nil {
+				// A terminal, authoritative answer (translated sim error,
+				// bad request): the backend is alive and working.
+				p.noteOutcome(idx, false, time.Now())
+			}
 			return nil, err // terminal: translated sim error, cancellation, ...
 		}
+		p.failedAttempts.Add(1)
+		p.noteOutcome(idx, !re.overload, time.Now())
 		lastErr = re.err
 		if err := p.sleepBackoff(ctx, attempt, retryAfter); err != nil {
 			return nil, err
 		}
 	}
 	return nil, &Unavailable{Key: key, Attempts: maxAttempts, Last: lastErr}
+}
+
+// runLocal degrades one point to in-process simulation (FallbackLocal). The
+// result carries the same RawStats bytes a backend would have served —
+// json.Marshal of the local Stats is exactly what braidd embeds — so
+// downstream byte-equality consumers cannot tell the difference.
+func (p *Pool) runLocal(ctx context.Context, prog *isa.Program, cfg uarch.Config, sp uarch.Sampling) (*Result, error) {
+	p.localFallbacks.Add(1)
+	var (
+		st  *uarch.Stats
+		est *uarch.SampleEstimate
+		err error
+	)
+	if sp.Enabled() {
+		st, est, err = uarch.SimulateSampled(ctx, prog, cfg, sp)
+	} else {
+		st, err = uarch.SimulateChecked(ctx, prog, cfg)
+	}
+	if err != nil {
+		return nil, err // already in the local taxonomy
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Stats: st, Estimate: est, RawStats: raw, Source: "local"}, nil
 }
 
 // sleepBackoff waits out the exponential backoff (with ±50% jitter) or the
@@ -484,8 +663,13 @@ func (p *Pool) sleepBackoff(ctx context.Context, attempt int, retryAfter time.Du
 }
 
 // retryableError wraps a failure worth another attempt: overload, a 5xx, or
-// a transport error. Everything else is terminal.
-type retryableError struct{ err error }
+// a transport error. Everything else is terminal. overload marks a 429 —
+// the backend answered, it is just shedding — which retries like any other
+// transient failure but must not count against the backend's breaker.
+type retryableError struct {
+	err      error
+	overload bool
+}
 
 func (e *retryableError) Error() string { return e.err.Error() }
 func (e *retryableError) Unwrap() error { return e.err }
@@ -506,7 +690,7 @@ func (p *Pool) call(ctx context.Context, backend string, body []byte) (*Result, 
 			return nil, 0, fmt.Errorf("remote: %w", ctxSentinel(ctx))
 		}
 		// Connection refused/reset, per-attempt timeout: try elsewhere.
-		return nil, 0, &retryableError{fmt.Errorf("%s: %w", backend, err)}
+		return nil, 0, &retryableError{err: fmt.Errorf("%s: %w", backend, err)}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
@@ -514,7 +698,7 @@ func (p *Pool) call(ctx context.Context, backend string, body []byte) (*Result, 
 		if ctx.Err() != nil {
 			return nil, 0, fmt.Errorf("remote: %w", ctxSentinel(ctx))
 		}
-		return nil, 0, &retryableError{fmt.Errorf("%s: reading response: %w", backend, err)}
+		return nil, 0, &retryableError{err: fmt.Errorf("%s: reading response: %w", backend, err)}
 	}
 	if resp.StatusCode == http.StatusOK {
 		var sr struct {
@@ -525,11 +709,23 @@ func (p *Pool) call(ctx context.Context, backend string, body []byte) (*Result, 
 			} `json:"sampling"`
 		}
 		if err := json.Unmarshal(data, &sr); err != nil || len(sr.Stats) == 0 {
-			return nil, 0, &retryableError{fmt.Errorf("%s: malformed response: %v", backend, err)}
+			return nil, 0, &retryableError{err: fmt.Errorf("%s: malformed response: %v", backend, err)}
+		}
+		// End-to-end integrity: the server stamps the SHA-256 of the Stats
+		// JSON it embedded. A body mangled in transit still parses if the
+		// corruption keeps the JSON well-formed; the digest does not lie.
+		// Mismatch is a transport-class failure — retry elsewhere.
+		if want := resp.Header.Get(statsSHAHeader); want != "" {
+			sum := sha256.Sum256(sr.Stats)
+			if got := hex.EncodeToString(sum[:]); got != want {
+				p.integrityFailures.Add(1)
+				return nil, 0, &retryableError{err: fmt.Errorf(
+					"%s: stats integrity: body sha256 %.16s… != header %.16s…", backend, got, want)}
+			}
 		}
 		st := new(uarch.Stats)
 		if err := json.Unmarshal(sr.Stats, st); err != nil {
-			return nil, 0, &retryableError{fmt.Errorf("%s: malformed stats: %w", backend, err)}
+			return nil, 0, &retryableError{err: fmt.Errorf("%s: malformed stats: %w", backend, err)}
 		}
 		p.observeLatency(time.Since(t0))
 		raw := make([]byte, len(sr.Stats))
@@ -543,10 +739,33 @@ func (p *Pool) call(ctx context.Context, backend string, body []byte) (*Result, 
 	return nil, parseRetryAfter(resp), p.translateError(backend, resp.StatusCode, data)
 }
 
+// statsSHAHeader carries the server's SHA-256 over the Stats JSON bytes
+// embedded in a /v1/simulate response, hex-encoded.
+const statsSHAHeader = "X-Braid-Stats-SHA256"
+
 func parseRetryAfter(resp *http.Response) time.Duration {
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.ParseInt(s, 10, 64); err == nil && secs > 0 {
+	return retryAfterDuration(resp.Header.Get("Retry-After"), time.Now())
+}
+
+// retryAfterDuration parses a Retry-After header in either RFC 9110 form:
+// delta-seconds ("120") or an HTTP-date ("Fri, 07 Aug 2026 12:00:00 GMT").
+// A hint in the past, zero, or unparseable is no hint at all. The caller
+// (sleepBackoff) caps whatever this returns at MaxBackoff, so a confused
+// server cannot stall failover.
+func retryAfterDuration(s string, now time.Time) time.Duration {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if secs > 0 {
 			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
 		}
 	}
 	return 0
@@ -577,7 +796,10 @@ func (p *Pool) translateError(backend string, status int, data []byte) error {
 	}
 	switch {
 	case status == http.StatusTooManyRequests || status >= 500:
-		return &retryableError{fmt.Errorf("%s: status %d: %s", backend, status, bytes.TrimSpace(data))}
+		return &retryableError{
+			err:      fmt.Errorf("%s: status %d: %s", backend, status, bytes.TrimSpace(data)),
+			overload: status == http.StatusTooManyRequests,
+		}
 	default:
 		return fmt.Errorf("remote %s: status %d: %s", backend, status, bytes.TrimSpace(data))
 	}

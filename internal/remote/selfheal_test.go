@@ -1,0 +1,379 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"braid/internal/chaos"
+	"braid/internal/experiments"
+	"braid/internal/service"
+	"braid/internal/uarch"
+)
+
+func TestRetryAfterDuration(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{" 120 ", 120 * time.Second},
+		{"0", 0},
+		{"-5", 0},
+		{now.Add(10 * time.Second).Format(http.TimeFormat), 10 * time.Second},
+		{now.Add(90 * time.Minute).Format(http.TimeFormat), 90 * time.Minute},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0}, // a date in the past is no hint
+		{now.Format(http.TimeFormat), 0},
+		{"Mon, 07 Aug 2026 12:00:10 UTC", 0}, // not an RFC 9110 HTTP-date
+		{"soon", 0},
+	}
+	for _, c := range cases {
+		if got := retryAfterDuration(c.in, now); got != c.want {
+			t.Errorf("retryAfterDuration(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRetryHonorsHTTPDateRetryAfter is the end-to-end shape of the new
+// Retry-After form: a backend shedding with an HTTP-date far in the future
+// must still be retried promptly, because MaxBackoff caps the hint.
+func TestRetryHonorsHTTPDateRetryAfter(t *testing.T) {
+	n := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n++
+		if n <= 2 {
+			w.Header().Set("Retry-After", time.Now().Add(time.Hour).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		fakeSimHandler(t, w)
+	}))
+	defer ts.Close()
+	pool, err := NewPool(Options{
+		Backends:    []string{ts.URL},
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	res, err := pool.SimulateFull(context.Background(), mustKernel(t, "dot"), uarch.OutOfOrderConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two dated 429s then success)", res.Attempts)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Errorf("an hour-long HTTP-date hint stalled retries for %v; MaxBackoff must cap it", d)
+	}
+}
+
+// fakeSimHandler answers a simulate with locally computed, correctly
+// hashed stats for the dot kernel on the 8-wide out-of-order core.
+func fakeSimHandler(t *testing.T, w http.ResponseWriter) {
+	t.Helper()
+	st, err := uarch.SimulateChecked(context.Background(), mustKernel(t, "dot"), uarch.OutOfOrderConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(st)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"stats":%s,"source":"run"}`, raw)
+}
+
+// TestIntegrityCheckCatchesCorruptedBody drives the pool through a chaos
+// proxy that corrupts every second response body — one digit flipped inside
+// the stats object, body length and JSON validity preserved, integrity
+// header relayed verbatim. Without the SHA-256 check the pool would accept
+// silently wrong Stats; with it, corruption classifies as a retryable
+// transport error and every point converges to bit-identical results.
+func TestIntegrityCheckCatchesCorruptedBody(t *testing.T) {
+	backend := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
+	defer backend.Close()
+	cp, err := chaos.New(backend.URL, chaos.EveryN(2, chaos.Fault{Kind: chaos.Corrupt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httptest.NewServer(cp)
+	defer proxy.Close()
+
+	pool, err := NewPool(Options{
+		Backends:    []string{proxy.URL},
+		MaxAttempts: 6,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := mustKernel(t, "dot")
+	for i, width := range []int{2, 4, 8, 2, 4, 8} {
+		cfg := uarch.OutOfOrderConfig(width)
+		want, err := uarch.SimulateChecked(context.Background(), prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRaw, _ := json.Marshal(want)
+		res, err := pool.SimulateFull(context.Background(), prog, cfg)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !bytes.Equal(res.RawStats, wantRaw) {
+			t.Fatalf("request %d: corrupted stats slipped through: %s != %s", i, res.RawStats, wantRaw)
+		}
+	}
+	s := pool.Snapshot()
+	if cp.Injected(chaos.Corrupt) == 0 {
+		t.Fatal("the proxy never corrupted a body; the test proved nothing")
+	}
+	if s.IntegrityFailures == 0 {
+		t.Error("corrupted bodies were never caught by the integrity check")
+	}
+	if s.IntegrityFailures != s.FailedAttempts {
+		t.Errorf("integrity failures %d != failed attempts %d; corruption should be the only failure mode here",
+			s.IntegrityFailures, s.FailedAttempts)
+	}
+}
+
+// TestFallbackLocalBitIdentical points a pool at a dead fleet with
+// -fallback=local semantics: every point must degrade to in-process
+// simulation with bit-identical Stats, clean Failures() accounting, intact
+// memoization, and checkpoint entries indistinguishable from a healthy
+// fleet's.
+func TestFallbackLocalBitIdentical(t *testing.T) {
+	pool, err := NewPool(Options{
+		Backends:         []string{"127.0.0.1:1"}, // nothing listens here
+		MaxAttempts:      2,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       2 * time.Millisecond,
+		Fallback:         FallbackLocal,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour, // once tripped, short-circuit for the whole test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct runner check: provenance and exact bytes.
+	prog, cfg := mustKernel(t, "dot"), uarch.OutOfOrderConfig(8)
+	want, err := uarch.SimulateChecked(context.Background(), prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw, _ := json.Marshal(want)
+	res, err := pool.SimulateFull(context.Background(), prog, cfg)
+	if err != nil {
+		t.Fatalf("fallback run: %v", err)
+	}
+	if res.Source != "local" || res.Backend != "" {
+		t.Errorf("fallback provenance = %q/%q, want local/\"\"", res.Source, res.Backend)
+	}
+	if !bytes.Equal(res.RawStats, wantRaw) {
+		t.Errorf("fallback stats not bit-identical: %s != %s", res.RawStats, wantRaw)
+	}
+
+	// Sweep check: memoization and checkpoints stay clean.
+	w, err := experiments.LoadSuiteJobs(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []experiments.Point
+	for _, b := range w.Benches[:3] {
+		points = append(points, experiments.Point{Bench: b, Cfg: uarch.OutOfOrderConfig(8)})
+	}
+	points = append(points, points...) // duplicates exercise the memo cache
+	unique := len(points) / 2
+
+	want2 := make(map[experiments.Point]float64, unique)
+	for _, pt := range points[:unique] {
+		st, err := uarch.SimulateChecked(context.Background(), pt.Bench.Orig, pt.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want2[pt] = st.IPC()
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "fallback.jsonl")
+	w.SetRunner(pool)
+	w.SetJobs(4)
+	if _, err := w.OpenCheckpoint(ckpt, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.IPCAll(points)
+	if err != nil {
+		t.Fatalf("fallback sweep: %v", err)
+	}
+	if err := w.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for pt, wantIPC := range want2 {
+		if got[pt] != wantIPC {
+			t.Errorf("%s: fallback IPC %v != local %v", pt.Bench.Name, got[pt], wantIPC)
+		}
+	}
+	if fails := w.Failures(); len(fails) > 0 {
+		t.Errorf("failures under local fallback: %v", fails)
+	}
+	if runs := w.SimRuns(); runs != uint64(unique) {
+		t.Errorf("sim runs = %d, want %d (memoization must absorb duplicates)", runs, unique)
+	}
+	if s := pool.Snapshot(); s.LocalFallbacks == 0 {
+		t.Error("no local fallbacks recorded against a dead fleet")
+	} else if s.ShortCircuits == 0 {
+		t.Error("breakers never short-circuited the dead backend")
+	}
+
+	// The checkpoint written under fallback replays like any other: a fresh
+	// suite resumes every point from the file without touching a runner.
+	w2, err := experiments.LoadSuiteJobs(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := w2.OpenCheckpoint(ckpt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.CloseCheckpoint()
+	if restored != unique {
+		t.Fatalf("restored %d checkpoint entries, want %d", restored, unique)
+	}
+	var points2 []experiments.Point
+	for _, b := range w2.Benches[:3] {
+		points2 = append(points2, experiments.Point{Bench: b, Cfg: uarch.OutOfOrderConfig(8)})
+	}
+	got2, err := w2.IPCAll(points2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range points2 {
+		if got2[pt] != want2[points[i]] {
+			t.Errorf("%s: resumed IPC %v != local %v", pt.Bench.Name, got2[pt], want2[points[i]])
+		}
+	}
+	if runs := w2.SimRuns(); runs != 0 {
+		t.Errorf("resume re-simulated %d points; the checkpoint should cover all of them", runs)
+	}
+}
+
+// TestFallbackFailStaysTransient: the default policy surfaces Unavailable
+// (transient, not memoized) exactly as before the fallback existed.
+func TestFallbackFailStaysTransient(t *testing.T) {
+	pool, err := NewPool(Options{
+		Backends:    []string{"127.0.0.1:1"},
+		MaxAttempts: 2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pool.Simulate(context.Background(), mustKernel(t, "dot"), uarch.OutOfOrderConfig(8))
+	if err == nil {
+		t.Fatal("a dead fleet with fallback=fail must error")
+	}
+	if !experiments.Transient(err) {
+		t.Errorf("unavailable fleet error must stay transient, got %v", err)
+	}
+}
+
+// TestProberEjectsAndReintegrates runs the background prober against one
+// healthy backend and one flapping backend: the flapper starts down (every
+// connection reset), so the prober must eject it — force-opening its
+// breaker and marking it unhealthy in the snapshot — and once the flapper
+// heals, the canary must reinstate it automatically.
+func TestProberEjectsAndReintegrates(t *testing.T) {
+	healthy := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
+	defer healthy.Close()
+	backend := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
+	defer backend.Close()
+	flap := chaos.Flap(time.Hour, time.Hour) // phases pinned by Force below
+	flap.Force(false)
+	cp, err := chaos.New(backend.URL, flap.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httptest.NewServer(cp)
+	defer proxy.Close()
+
+	pool, err := NewPool(Options{Backends: []string{healthy.URL, proxy.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := pool.StartProber(ctx, 25*time.Millisecond)
+	defer stop()
+
+	waitFor := func(desc string, cond func(Stats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond(pool.Snapshot()) {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s; snapshot: %+v", desc, pool.Snapshot())
+	}
+
+	waitFor("the down backend to be ejected", func(s Stats) bool {
+		return !s.Healthy[proxy.URL] && s.Breakers[proxy.URL] == "open" && s.Healthy[healthy.URL]
+	})
+	if s := pool.Snapshot(); s.ProbeFailures == 0 {
+		t.Error("ejection without any recorded probe failures")
+	}
+
+	flap.Force(true)
+	waitFor("the healed backend to be reinstated", func(s Stats) bool {
+		return s.Healthy[proxy.URL] && s.Breakers[proxy.URL] == "closed"
+	})
+}
+
+// TestCanaryMismatchEjects fronts a backend with a proxy corrupting every
+// simulate response: /healthz passes, so only the canary's known-answer
+// check can notice the backend is serving wrong results — and must eject it.
+func TestCanaryMismatchEjects(t *testing.T) {
+	backend := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
+	defer backend.Close()
+	cp, err := chaos.New(backend.URL, func(r *http.Request, n int64) chaos.Fault {
+		if r.Method == http.MethodPost {
+			return chaos.Fault{Kind: chaos.Corrupt}
+		}
+		return chaos.Fault{Kind: chaos.Pass}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httptest.NewServer(cp)
+	defer proxy.Close()
+
+	pool, err := NewPool(Options{Backends: []string{proxy.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := pool.StartProber(ctx, 25*time.Millisecond)
+	defer stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s := pool.Snapshot()
+		if s.CanaryMismatches > 0 && !s.Healthy[proxy.URL] && s.Breakers[proxy.URL] == "open" {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("corrupting backend never ejected; snapshot: %+v", pool.Snapshot())
+}

@@ -65,6 +65,11 @@ func (a *admission) releaseQueue() { <-a.queue }
 // the reads — so the difference is clamped: /metrics must never report a
 // negative queue depth.
 func (a *admission) busy() int { return len(a.slots) }
+
+// saturated reports a full admission queue: the next shedding admit would
+// 429. /healthz exposes it so health probers can tell "overloaded but
+// alive" from "broken" and leave a loaded backend in rotation.
+func (a *admission) saturated() bool { return len(a.queue) == cap(a.queue) }
 func (a *admission) waiting() int {
 	if n := len(a.queue) - len(a.slots); n > 0 {
 		return n

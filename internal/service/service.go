@@ -9,6 +9,8 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -23,6 +25,17 @@ import (
 	"time"
 
 	"braid/internal/uarch"
+)
+
+// Wire headers shared with the internal/remote client (which keeps its own
+// copies — the client imports this package, not the other way around).
+const (
+	// canaryHeader marks a health prober's known-answer simulation; such
+	// requests wait for admission instead of being shed.
+	canaryHeader = "X-Braid-Canary"
+	// statsSHAHeader carries the hex SHA-256 of the Stats JSON embedded in
+	// a /v1/simulate response, for end-to-end integrity verification.
+	statsSHAHeader = "X-Braid-Stats-SHA256"
 )
 
 // Config sizes the server. Zero fields take the documented defaults.
@@ -178,7 +191,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, body)
 		return
 	}
-	res, err := s.runSim(r.Context(), b, true)
+	// A health prober's canary waits for a worker slot instead of being
+	// shed: a saturated queue means the backend is busy, not broken, and a
+	// 429 here would read as a failed probe and eject a healthy backend.
+	shed := r.Header.Get(canaryHeader) == ""
+	res, err := s.runSim(r.Context(), b, shed)
 	if err != nil {
 		status, body := simErrorBody(err)
 		if status == http.StatusTooManyRequests {
@@ -187,7 +204,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, body)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, s.response(b, res))
+	resp := s.response(b, res)
+	// Stamp the SHA-256 of the exact Stats bytes this response embeds:
+	// json.Marshal here produces the same bytes the response encoder nests,
+	// so the client can verify end-to-end that the stats survived transit.
+	if raw, err := json.Marshal(resp.Stats); err == nil {
+		sum := sha256.Sum256(raw)
+		w.Header().Set(statsSHAHeader, hex.EncodeToString(sum[:]))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // BatchRequest is the body of POST /v1/batch: the requests run concurrently
@@ -255,7 +280,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// Overload signaling: "alive but saturated" lets probers keep a loaded
+	// backend in rotation instead of misreading backpressure as breakage.
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"queue_depth":  s.adm.waiting(),
+		"workers_busy": s.adm.busy(),
+		"overloaded":   s.adm.saturated(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
