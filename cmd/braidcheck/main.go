@@ -1,0 +1,240 @@
+// Command braidcheck is the differential correctness harness CLI: it runs
+// every paradigm × program combination through the internal/check oracle —
+// interp-vs-uarch lockstep at retire granularity, braid-compiler
+// equivalence, and the metamorphic invariant battery — over the curated
+// kernel corpus, the generated benchmark suite, and adversarial random
+// programs. On a failure it can greedily shrink the offending program to a
+// minimal reproduction and write a crash artifact replayable with
+// braidsim -config.
+//
+// Usage:
+//
+//	braidcheck -corpus                      # kernels + generated suite
+//	braidcheck -rand 1000 -seed 42          # random-program differential run
+//	braidcheck -corpus -rand 200 -shrink -crashdir /tmp/repros
+//
+// Exit status: 0 when every check passes, 1 when any divergence or
+// invariant violation was found, 2 on usage or setup errors.
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"braid/internal/braid"
+	"braid/internal/check"
+	"braid/internal/experiments"
+	"braid/internal/isa"
+	"braid/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type unit struct {
+	name string
+	prog *isa.Program
+}
+
+func run() int {
+	var (
+		corpus   = flag.Bool("corpus", false, "check the curated kernels and the generated benchmark suite")
+		suiteDyn = flag.Uint64("dyn", 30_000, "dynamic-length target for generated suite benchmarks (with -corpus)")
+		randN    = flag.Int("rand", 0, "number of adversarial random programs to check")
+		seed     = flag.Int64("seed", 1, "base seed for -rand (program i uses seed+i)")
+		widthsF  = flag.String("widths", "4,8", "comma-separated issue widths to check")
+		doShrink = flag.Bool("shrink", false, "shrink failing programs to minimal reproductions")
+		crashDir = flag.String("crashdir", "", "write crash artifacts for findings into this directory")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "parallel checking workers")
+		sampled  = flag.Bool("sampled", false, "include the sampled-convergence invariant (slower)")
+		maxSteps = flag.Uint64("maxsteps", 3_000_000, "interpreter step budget per run")
+		ipcTol   = flag.Float64("ipctol", 0.05, "tolerated relative IPC loss when widening one resource")
+		digest   = flag.Bool("digest", false, "print a SHA-256 digest of all results (for determinism checks)")
+		timeout  = flag.Duration("timeout", 0, "overall deadline (0: none)")
+		verbose  = flag.Bool("v", false, "log every program checked")
+	)
+	flag.Parse()
+
+	if !*corpus && *randN <= 0 {
+		fmt.Fprintln(os.Stderr, "braidcheck: nothing to do; pass -corpus and/or -rand N")
+		flag.Usage()
+		return 2
+	}
+	widths, err := parseWidths(*widthsF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "braidcheck: %v\n", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var units []unit
+	if *corpus {
+		for _, p := range workload.Kernels() {
+			units = append(units, unit{"kernel/" + p.Name, p})
+		}
+		w, err := experiments.LoadSuiteCtx(ctx, *suiteDyn, *jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braidcheck: loading suite: %v\n", err)
+			return 2
+		}
+		for _, b := range w.Benches {
+			units = append(units, unit{"suite/" + b.Name, b.Orig})
+		}
+	}
+	for i := 0; i < *randN; i++ {
+		s := *seed + int64(i)
+		units = append(units, unit{fmt.Sprintf("rand/%d", s), workload.RandomProgram(s)})
+	}
+
+	opts := check.Options{
+		MaxSteps: *maxSteps,
+		Widths:   widths,
+		IPCTol:   *ipcTol,
+		Sampled:  *sampled,
+	}
+
+	start := time.Now()
+	results := make([][]check.Finding, len(units))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	nWorkers := *jobs
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = check.Program(ctx, units[i].name, units[i].prog, opts)
+			}
+		}()
+	}
+	for i := range units {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "braidcheck: aborted: %v\n", err)
+		return 2
+	}
+
+	var findings []check.Finding
+	h := sha256.New()
+	for i, u := range units {
+		fmt.Fprintf(h, "%s:%d\n", u.name, len(results[i]))
+		for _, f := range results[i] {
+			fmt.Fprintf(h, "%s\n", f.String())
+			findings = append(findings, f)
+		}
+		if *verbose {
+			fmt.Printf("%-24s %d findings\n", u.name, len(results[i]))
+		}
+	}
+
+	for i := range findings {
+		f := &findings[i]
+		fmt.Fprintf(os.Stderr, "FAIL %s\n", f.String())
+		if *doShrink && f.Prog != nil {
+			if shrunk, sf := check.Shrink(ctx, f.Prog, shrinkProperty(ctx, f, opts)); sf != nil {
+				fmt.Fprintf(os.Stderr, "     shrunk to %d instructions: %s\n", len(shrunk.Instrs), sf.String())
+				*f = *sf
+			} else {
+				fmt.Fprintf(os.Stderr, "     (failure did not reproduce during shrinking — flaky?)\n")
+			}
+		}
+		if *crashDir != "" {
+			path, err := check.WriteArtifact(*crashDir, f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "     artifact: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "     artifact: %s (replay: braidsim -config %s)\n", path, path)
+			}
+		}
+	}
+
+	nCfgs := 4 * len(widths)
+	fmt.Printf("braidcheck: %d programs × %d core configs in %s: %d finding(s)\n",
+		len(units), nCfgs, time.Since(start).Round(time.Millisecond), len(findings))
+	if *digest {
+		fmt.Printf("digest: %x\n", h.Sum(nil))
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// shrinkProperty rebuilds the specific failing check as a predicate over
+// candidate programs, keyed on the finding's kind: lockstep findings
+// re-simulate under the exhibiting configuration; equivalence findings
+// re-compile and re-compare. Invariant findings are not shrunk (they are
+// properties of a configuration pair more than of a program).
+func shrinkProperty(ctx context.Context, f *check.Finding, opts check.Options) check.Property {
+	maxSteps := opts.MaxSteps
+	switch f.Kind {
+	case "lockstep":
+		cfg := *f.Cfg
+		return func(p *isa.Program) *check.Finding {
+			g := check.Lockstep(ctx, f.Program, p, cfg, maxSteps)
+			if g != nil && g.Kind == "lockstep" {
+				return g
+			}
+			return nil
+		}
+	case "equivalence", "alias":
+		return func(p *isa.Program) *check.Finding {
+			res, err := braid.Compile(p, braid.Options{})
+			if err != nil {
+				return nil
+			}
+			return check.Equivalence(f.Program, p, res.Prog, maxSteps)
+		}
+	default:
+		return func(*isa.Program) *check.Finding { return nil }
+	}
+}
+
+func parseWidths(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad width %q", part)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no widths in %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package check
+
+import (
+	"context"
+	"fmt"
+
+	"braid/internal/experiments"
+	"braid/internal/isa"
+	"braid/internal/uarch"
+)
+
+// Property re-runs a check over a candidate program, returning a non-nil
+// Finding while the failure being shrunk still reproduces. Candidates are
+// structurally valid (Program.Validate passes) but semantically arbitrary
+// — a Property must treat interpreter errors (non-halting candidates) as
+// "does not reproduce", which a checker built from Lockstep/Equivalence
+// does naturally by reporting them under a different Kind.
+type Property func(p *isa.Program) *Finding
+
+// Shrink greedily minimizes p while prop keeps failing with the same Kind,
+// using delta debugging over instruction ranges: whole blocks first, then
+// exponentially smaller chunks down to single instructions, re-assembling
+// branch targets around every deletion and re-validating the candidate
+// before re-checking it. It returns the smallest reproducing program found
+// together with its Finding; if prop does not fail on p itself, it returns
+// (p, nil) — the failure was not reproducible, which callers should treat
+// as a flake worth reporting.
+func Shrink(ctx context.Context, p *isa.Program, prop Property) (*isa.Program, *Finding) {
+	cur := p.Clone()
+	best := prop(cur)
+	if best == nil {
+		return p, nil
+	}
+	kind := best.Kind
+
+	chunk := len(cur.Instrs) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for chunk >= 1 {
+		improved := false
+		for start := 0; start < len(cur.Instrs) && ctx.Err() == nil; {
+			end := start + chunk
+			if end > len(cur.Instrs) {
+				end = len(cur.Instrs)
+			}
+			cand, ok := removeRange(cur, start, end)
+			if ok {
+				if f := prop(cand); f != nil && f.Kind == kind {
+					cur, best = cand, f
+					improved = true
+					// Indices shifted left; retry the same offset.
+					continue
+				}
+			}
+			start += chunk
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if !improved {
+			if chunk == 1 {
+				break
+			}
+			chunk /= 2
+		}
+	}
+	cur.Name = p.Name + ".shrunk"
+	best.Prog = cur
+	return cur, best
+}
+
+// removeRange deletes instructions [lo, hi) from p, remapping every branch
+// so surviving control flow lands where it used to: a target inside the
+// deleted range advances to the first surviving instruction at or after
+// it. The final instruction (the HALT or closing branch the validator
+// requires) is never deleted. Returns false when the deletion is empty or
+// produces an invalid program.
+func removeRange(p *isa.Program, lo, hi int) (*isa.Program, bool) {
+	n := len(p.Instrs)
+	if hi > n-1 {
+		hi = n - 1 // keep the terminator
+	}
+	if lo < 0 || lo >= hi {
+		return nil, false
+	}
+	// newIdx[i] is the post-deletion index of the first surviving
+	// instruction at or after old index i.
+	newIdx := make([]int, n+1)
+	kept := 0
+	for i := 0; i < n; i++ {
+		newIdx[i] = kept
+		if i < lo || i >= hi {
+			kept++
+		}
+	}
+	newIdx[n] = kept
+
+	out := &isa.Program{Name: p.Name, FP: p.FP}
+	out.Data = append([]byte(nil), p.Data...)
+	out.Instrs = make([]isa.Instruction, 0, kept)
+	for i := 0; i < n; i++ {
+		if i >= lo && i < hi {
+			continue
+		}
+		in := p.Instrs[i] // copy
+		if in.IsBranch() {
+			t := in.BranchTarget(i)
+			if t < 0 || t > n {
+				return nil, false
+			}
+			in.SetBranchTarget(len(out.Instrs), newIdx[t])
+		}
+		out.Instrs = append(out.Instrs, in)
+	}
+	if out.Validate() != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// WriteArtifact emits a PR-3-style crash artifact for a finding: the
+// program image (.brd) plus a JSON descriptor with the exhibiting
+// configuration, replayable with braidsim -config <json>. Findings without
+// a configuration (compiler-equivalence violations) are written against
+// the default out-of-order machine so the replay still demonstrates the
+// offending program.
+func WriteArtifact(dir string, f *Finding) (string, error) {
+	if f == nil || f.Prog == nil {
+		return "", fmt.Errorf("check: no program attached to finding")
+	}
+	cfg := uarch.OutOfOrderConfig(8)
+	braided := false
+	if f.Cfg != nil {
+		cfg = *f.Cfg
+		braided = cfg.Core == uarch.CoreBraid
+	}
+	sf := &uarch.SimFault{
+		Core:    cfg.Core,
+		Program: f.Program,
+		Panic:   f.String(),
+	}
+	return experiments.WriteCrashArtifact(dir, sanitize(f.Program+"-"+f.Kind), braided, f.Prog, cfg, sf)
+}
+
+// sanitize keeps artifact stems filesystem-safe.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

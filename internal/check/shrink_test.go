@@ -1,0 +1,133 @@
+package check
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"braid/internal/experiments"
+	"braid/internal/interp"
+	"braid/internal/isa"
+	"braid/internal/uarch"
+	"braid/internal/workload"
+)
+
+// storesToMagic is a shrink property: the program, when interpreted,
+// stores the value 0xDEAD to some address. Non-halting or invalid
+// candidates do not reproduce.
+func storesToMagic(p *isa.Program) *Finding {
+	st := interp.NewStream(p, 200_000)
+	for {
+		si, err := st.Next()
+		if err != nil {
+			return nil
+		}
+		if si == nil {
+			return nil
+		}
+		if si.Instr.IsStore() && si.Value == 0xDEAD {
+			return &Finding{Kind: "lockstep", Program: p.Name,
+				Detail: "stored 0xDEAD", Prog: p}
+		}
+	}
+}
+
+// TestShrinkMinimizes plants a needle (a store of 0xDEAD) in the middle of
+// a large random program and checks the shrinker reduces it to a minimal
+// reproduction: every single-instruction deletion must destroy the
+// property, and the result must stay structurally valid.
+func TestShrinkMinimizes(t *testing.T) {
+	base := workload.RandomProgram(7)
+	p := base.Clone()
+	// Plant the needle before the final halt: load the magic value and
+	// store it. The stores use r1 as a base if valid addressing exists;
+	// simplest is LDIMM + ST with an absolute offset from r31 (zero).
+	needle := []isa.Instruction{
+		{Op: isa.OpLDIMM, Dest: isa.Reg(1), Imm: 0xDEAD, HasImm: true},
+		{Op: isa.OpSTQ, Src1: isa.Reg(1), Src2: isa.RegZero, Imm: 0x100},
+	}
+	at := len(p.Instrs) - 1
+	// Fix up branches that cross the insertion point.
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.IsBranch() {
+			tgt := in.BranchTarget(i)
+			if tgt > at && i <= at {
+				in.SetBranchTarget(i, tgt+len(needle))
+			}
+		}
+	}
+	p.Instrs = append(p.Instrs[:at:at], append(needle, p.Instrs[at:]...)...)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("planted program invalid: %v", err)
+	}
+	if storesToMagic(p) == nil {
+		t.Fatal("planted program does not exhibit the property")
+	}
+
+	shrunk, f := Shrink(context.Background(), p, storesToMagic)
+	if f == nil {
+		t.Fatal("shrink lost the failure")
+	}
+	if err := shrunk.Validate(); err != nil {
+		t.Fatalf("shrunk program invalid: %v", err)
+	}
+	t.Logf("shrunk %d -> %d instructions", len(p.Instrs), len(shrunk.Instrs))
+	if len(shrunk.Instrs) > 8 {
+		t.Errorf("shrink left %d instructions; expected a handful", len(shrunk.Instrs))
+	}
+	// 1-minimality: deleting any single surviving instruction (except the
+	// protected terminator) must break the property or validity.
+	for i := 0; i < len(shrunk.Instrs)-1; i++ {
+		cand, ok := removeRange(shrunk, i, i+1)
+		if !ok {
+			continue
+		}
+		if storesToMagic(cand) != nil {
+			t.Errorf("not 1-minimal: instruction %d (%s) is deletable", i, shrunk.Instrs[i].String())
+		}
+	}
+}
+
+// TestShrinkNotReproducible: a property that never fires returns the
+// original program and a nil finding.
+func TestShrinkNotReproducible(t *testing.T) {
+	p := workload.RandomProgram(3)
+	got, f := Shrink(context.Background(), p, func(*isa.Program) *Finding { return nil })
+	if f != nil {
+		t.Fatalf("unexpected finding: %v", f)
+	}
+	if got != p {
+		t.Fatal("expected the original program back")
+	}
+}
+
+// TestWriteArtifactRoundTrip writes a finding's crash artifact and reads
+// it back through the experiments loader — the exact path braidsim
+// -config uses for replay.
+func TestWriteArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := workload.KernelByName("dot")
+	cfg := uarch.OutOfOrderConfig(4)
+	f := &Finding{Kind: "lockstep", Program: "dot", Core: "out-of-order/w4",
+		Detail: "synthetic divergence for the round-trip test", Prog: p, Cfg: &cfg}
+	path, err := WriteArtifact(dir, f)
+	if err != nil {
+		t.Fatalf("WriteArtifact: %v", err)
+	}
+	art, prog, err := experiments.ReadCrashArtifact(path)
+	if err != nil {
+		t.Fatalf("ReadCrashArtifact: %v", err)
+	}
+	if prog == nil || len(prog.Instrs) != len(p.Instrs) {
+		t.Fatal("program image did not round-trip")
+	}
+	if !strings.Contains(art.Panic, "synthetic divergence") {
+		t.Errorf("finding detail missing from artifact panic: %q", art.Panic)
+	}
+	if _, err := os.Stat(filepath.Join(dir, filepath.Base(path))); err != nil {
+		t.Errorf("artifact file: %v", err)
+	}
+}

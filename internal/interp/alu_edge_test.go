@@ -1,0 +1,297 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"braid/internal/isa"
+)
+
+// These tables pin the architectural edge cases of the BRD64 ALU — the value
+// semantics every other layer (the braid compiler, the timing cores, the
+// remote digests) inherits through the interpreter's role as shared oracle.
+// Each case encodes a deliberate design decision documented in alu():
+// canonical NaN bit patterns, explicit CVTFI saturation, 6-bit shift-count
+// masking, and read-old-dest conditional moves.
+
+const (
+	posZero = uint64(0)
+	negZero = uint64(1) << 63
+	one     = uint64(0x3FF0000000000000) // 1.0
+	// NaNs with non-canonical payloads, as could arrive from program data.
+	sNaNPayload = uint64(0x7FF0000000000001)
+	qNaNNegPay  = uint64(0xFFF8000000000042)
+)
+
+func fbits(f float64) uint64 { return math.Float64bits(f) }
+
+func TestALUNaNCanonicalization(t *testing.T) {
+	inf := fbits(math.Inf(1))
+	ninf := fbits(math.Inf(-1))
+	cases := []struct {
+		name string
+		op   isa.Opcode
+		a, b uint64
+	}{
+		{"inf+(-inf)", isa.OpFADD, inf, ninf},
+		{"inf-inf", isa.OpFSUB, inf, inf},
+		{"0*inf", isa.OpFMUL, posZero, inf},
+		{"-0*inf", isa.OpFMUL, negZero, inf},
+		{"0/0", isa.OpFDIV, posZero, posZero},
+		{"inf/inf", isa.OpFDIV, inf, inf},
+		{"sqrt(-1)", isa.OpFSQRT, fbits(-1.0), 0},
+		// NaN operands with unusual payloads must not leak their payload
+		// into the result: host hardware disagrees on NaN propagation, and
+		// a payload-dependent result would make stored memory images (and
+		// hence cross-machine digests) host-dependent.
+		{"sNaN+1", isa.OpFADD, sNaNPayload, one},
+		{"qNaN*2", isa.OpFMUL, qNaNNegPay, fbits(2.0)},
+		{"1/qNaN", isa.OpFDIV, one, qNaNNegPay},
+		{"sqrt(qNaN)", isa.OpFSQRT, qNaNNegPay, 0},
+	}
+	for _, c := range cases {
+		if got := alu(c.op, c.a, c.b, 0); got != canonicalNaN {
+			t.Errorf("%s: alu(%s, %#x, %#x) = %#x, want canonical NaN %#x",
+				c.name, c.op, c.a, c.b, got, uint64(canonicalNaN))
+		}
+	}
+}
+
+func TestALUNaNAndSignedZeroCompares(t *testing.T) {
+	nan := uint64(canonicalNaN)
+	cases := []struct {
+		name string
+		op   isa.Opcode
+		a, b uint64
+		want uint64 // float64 bits of 1.0 or 0.0
+	}{
+		// NaN compares unordered: every comparison is false, including
+		// NaN == NaN.
+		{"nan==nan", isa.OpFCMPEQ, nan, nan, posZero},
+		{"nan<1", isa.OpFCMPLT, nan, one, posZero},
+		{"1<nan", isa.OpFCMPLT, one, nan, posZero},
+		{"nan<=nan", isa.OpFCMPLE, nan, nan, posZero},
+		{"sNaN==sNaN", isa.OpFCMPEQ, sNaNPayload, sNaNPayload, posZero},
+		// Signed zeros compare equal despite distinct bit patterns.
+		{"+0==-0", isa.OpFCMPEQ, posZero, negZero, one},
+		{"-0<+0", isa.OpFCMPLT, negZero, posZero, posZero},
+		{"-0<=+0", isa.OpFCMPLE, negZero, posZero, one},
+		{"+0<=-0", isa.OpFCMPLE, posZero, negZero, one},
+	}
+	for _, c := range cases {
+		if got := alu(c.op, c.a, c.b, 0); got != c.want {
+			t.Errorf("%s: alu(%s) = %#x, want %#x", c.name, c.op, got, c.want)
+		}
+	}
+}
+
+func TestALUSignedZeroArithmetic(t *testing.T) {
+	five := fbits(5.0)
+	cases := []struct {
+		name string
+		op   isa.Opcode
+		a, b uint64
+		want uint64
+	}{
+		// IEEE 754 sign rules, bit-exact: the sign of a zero result is
+		// architecturally visible through stores.
+		{"+0 + -0", isa.OpFADD, posZero, negZero, posZero},
+		{"-0 + -0", isa.OpFADD, negZero, negZero, negZero},
+		{"+0 - +0", isa.OpFSUB, posZero, posZero, posZero},
+		{"-0 * 5", isa.OpFMUL, negZero, five, negZero},
+		{"-0 / 5", isa.OpFDIV, negZero, five, negZero},
+		{"neg(+0)", isa.OpFNEG, posZero, 0, negZero},
+		{"neg(-0)", isa.OpFNEG, negZero, 0, posZero},
+		{"sqrt(-0)", isa.OpFSQRT, negZero, 0, negZero},
+	}
+	for _, c := range cases {
+		if got := alu(c.op, c.a, c.b, 0); got != c.want {
+			t.Errorf("%s: alu(%s) = %#x, want %#x", c.name, c.op, got, c.want)
+		}
+	}
+}
+
+func TestCVTFISaturation(t *testing.T) {
+	// 2^63 as a float64; also the rounded value of float64(MaxInt64).
+	two63 := math.Ldexp(1, 63)
+	cases := []struct {
+		name string
+		f    float64
+		want uint64
+	}{
+		{"+inf", math.Inf(1), math.MaxInt64},
+		{"-inf", math.Inf(-1), 1 << 63},
+		{"1e300", 1e300, math.MaxInt64},
+		{"-1e300", -1e300, 1 << 63},
+		// Exactly 2^63 is the first positive out-of-range value.
+		{"2^63", two63, math.MaxInt64},
+		// The largest float64 below 2^63 converts exactly.
+		{"just under 2^63", math.Nextafter(two63, 0), 9223372036854774784},
+		// -2^63 == MinInt64 exactly: in range, converts to the sign bit.
+		{"-2^63", -two63, 1 << 63},
+		// First value below MinInt64 saturates to the same bit pattern.
+		{"below -2^63", math.Nextafter(-two63, math.Inf(-1)), 1 << 63},
+		{"0.5", 0.5, 0},
+		{"-0.5", -0.5, 0},
+		{"-0.0", math.Copysign(0, -1), 0},
+		{"1.5 truncates", 1.5, 1},
+		{"-1.9 truncates", -1.9, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := alu(isa.OpCVTFI, fbits(c.f), 0, 0); got != c.want {
+			t.Errorf("%s: cvtfi(%v) = %#x, want %#x", c.name, c.f, got, c.want)
+		}
+	}
+	// NaN converts to zero regardless of payload.
+	for _, bits := range []uint64{canonicalNaN, sNaNPayload, qNaNNegPay} {
+		if got := alu(isa.OpCVTFI, bits, 0, 0); got != 0 {
+			t.Errorf("cvtfi(NaN %#x) = %#x, want 0", bits, got)
+		}
+	}
+}
+
+func TestCVTRoundTrips(t *testing.T) {
+	// u2f/f2u preserve every bit pattern, including NaN payloads: they are
+	// pure reinterpretations, never value conversions.
+	for _, bits := range []uint64{0, negZero, one, canonicalNaN, sNaNPayload, qNaNNegPay, ^uint64(0)} {
+		if got := f2u(u2f(bits)); got != bits {
+			t.Errorf("f2u(u2f(%#x)) = %#x, bit pattern not preserved", bits, got)
+		}
+	}
+	// CVTIF∘CVTFI is the identity on integers float64 represents exactly.
+	for _, v := range []int64{0, 1, -1, 1 << 52, -(1 << 52), 1 << 62, math.MinInt64} {
+		f := alu(isa.OpCVTIF, uint64(v), 0, 0)
+		if got := int64(alu(isa.OpCVTFI, f, 0, 0)); got != v {
+			t.Errorf("cvtfi(cvtif(%d)) = %d", v, got)
+		}
+	}
+	// MaxInt64 is NOT exactly representable: cvtif rounds it up to 2^63,
+	// and cvtfi saturates that straight back to MaxInt64.
+	f := alu(isa.OpCVTIF, math.MaxInt64, 0, 0)
+	if u2f(f) != math.Ldexp(1, 63) {
+		t.Errorf("cvtif(MaxInt64) = %v, want 2^63", u2f(f))
+	}
+	if got := alu(isa.OpCVTFI, f, 0, 0); got != math.MaxInt64 {
+		t.Errorf("cvtfi(cvtif(MaxInt64)) = %#x, want MaxInt64", got)
+	}
+}
+
+func TestShiftCountMasking(t *testing.T) {
+	cases := []struct {
+		name string
+		op   isa.Opcode
+		a    uint64
+		b    uint64
+		want uint64
+	}{
+		{"sll by 63", isa.OpSLL, 1, 63, 1 << 63},
+		{"sll by 64 is 0", isa.OpSLL, 1, 64, 1},
+		{"sll by 65 is 1", isa.OpSLL, 1, 65, 2},
+		{"sll by -1 is 63", isa.OpSLL, 1, ^uint64(0), 1 << 63},
+		{"srl by 63", isa.OpSRL, 1 << 63, 63, 1},
+		{"srl by 64 is 0", isa.OpSRL, 1 << 63, 64, 1 << 63},
+		{"sra by 63 fills sign", isa.OpSRA, 1 << 63, 63, ^uint64(0)},
+		{"sra by 64 is 0", isa.OpSRA, ^uint64(15), 64, ^uint64(15)},
+		{"sra positive", isa.OpSRA, 1 << 62, 62, 1},
+	}
+	for _, c := range cases {
+		if got := alu(c.op, c.a, c.b, 0); got != c.want {
+			t.Errorf("%s: alu(%s, %#x, %d) = %#x, want %#x", c.name, c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSignedUnsignedCompareBoundaries(t *testing.T) {
+	min := uint64(1) << 63 // MinInt64 bit pattern; largest unsigned MSB value
+	max := uint64(math.MaxInt64)
+	cases := []struct {
+		name string
+		op   isa.Opcode
+		a, b uint64
+		want uint64
+	}{
+		// The sign bit flips the two orderings against each other.
+		{"min <s 0", isa.OpCMPLT, min, 0, 1},
+		{"min <u 0", isa.OpCMPULT, min, 0, 0},
+		{"0 <u min", isa.OpCMPULT, 0, min, 1},
+		{"0 <s min", isa.OpCMPLT, 0, min, 0},
+		{"max <s min", isa.OpCMPLT, max, min, 0},
+		{"max <u min", isa.OpCMPULT, max, min, 1},
+		{"min <=s min", isa.OpCMPLE, min, min, 1},
+		{"-1 <u 0", isa.OpCMPULT, ^uint64(0), 0, 0},
+		{"0 <u -1", isa.OpCMPULT, 0, ^uint64(0), 1},
+		{"min == min", isa.OpCMPEQ, min, min, 1},
+	}
+	for _, c := range cases {
+		if got := alu(c.op, c.a, c.b, 0); got != c.want {
+			t.Errorf("%s: alu(%s, %#x, %#x) = %d, want %d", c.name, c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSelfOverwritingDest(t *testing.T) {
+	// Instructions whose destination is also a source must read the old
+	// value before writing: the timing cores rename these, so any
+	// read-after-write confusion in the oracle would poison every
+	// downstream comparison.
+	t.Run("add r1,r1,r1", func(t *testing.T) {
+		m := run(t, []isa.Instruction{
+			ldimm(1, 21),
+			{Op: isa.OpADD, Dest: 1, Src1: 1, Src2: 1},
+		})
+		if m.R[1] != 42 {
+			t.Errorf("r1 = %d, want 42", m.R[1])
+		}
+	})
+	t.Run("cmov cond is dest", func(t *testing.T) {
+		// CMOVEQ r1, r1, r2 with r1 == 0: the condition and the old-dest
+		// read are the same register; the move must land.
+		m := run(t, []isa.Instruction{
+			ldimm(2, 99),
+			{Op: isa.OpCMOVEQ, Dest: 1, Src1: 1, Src2: 2},
+			// And with a nonzero condition the old value must survive.
+			ldimm(3, 7),
+			{Op: isa.OpCMOVEQ, Dest: 3, Src1: 3, Src2: 2},
+		})
+		if m.R[1] != 99 {
+			t.Errorf("cmoveq with zero self-cond: r1 = %d, want 99", m.R[1])
+		}
+		if m.R[3] != 7 {
+			t.Errorf("cmoveq with nonzero self-cond overwrote dest: r3 = %d", m.R[3])
+		}
+	})
+	t.Run("load clobbers own address base", func(t *testing.T) {
+		m := run(t, []isa.Instruction{
+			ldimm(1, isa.DataBase),
+			ldimm(2, 1234),
+			{Op: isa.OpSTQ, Src1: 2, Src2: 1},
+			{Op: isa.OpLDQ, Dest: 1, Src1: 1}, // r1 = mem[r1]
+			{Op: isa.OpADD, Dest: 3, Src1: 1, Imm: 0, HasImm: true},
+		})
+		if m.R[3] != 1234 {
+			t.Errorf("load into own base: r3 = %d, want 1234", m.R[3])
+		}
+	})
+	t.Run("store data is address", func(t *testing.T) {
+		m := run(t, []isa.Instruction{
+			ldimm(1, isa.DataBase),
+			{Op: isa.OpSTQ, Src1: 1, Src2: 1}, // mem[r1] = r1
+			{Op: isa.OpLDQ, Dest: 2, Src1: 1},
+		})
+		if m.R[2] != isa.DataBase {
+			t.Errorf("mem[base] = %#x, want %#x", m.R[2], uint64(isa.DataBase))
+		}
+	})
+	t.Run("dual-dest reads source before either write", func(t *testing.T) {
+		// Braided dual-destination write where the external dest equals
+		// the source: internal and external copies must both get old+1.
+		m := run(t, []isa.Instruction{
+			ldimm(1, 7),
+			{Op: isa.OpADD, Dest: 1, Src1: 1, Imm: 1, HasImm: true, IDest: true, IDestIdx: 2, EDest: true},
+			{Op: isa.OpADD, Dest: 6, Src1: 0, T1: true, I1: 2, Imm: 0, HasImm: true, EDest: true},
+		})
+		if m.R[1] != 8 || m.R[6] != 8 {
+			t.Errorf("dual dest self-overwrite: r1=%d r6=%d, want 8 8", m.R[1], m.R[6])
+		}
+	})
+}

@@ -294,15 +294,15 @@ func alu(op isa.Opcode, a, b, old uint64) uint64 {
 	case isa.OpSEXTL:
 		return uint64(int64(int32(a)))
 	case isa.OpFADD:
-		return f2u(u2f(a) + u2f(b))
+		return canonNaN(u2f(a) + u2f(b))
 	case isa.OpFSUB:
-		return f2u(u2f(a) - u2f(b))
+		return canonNaN(u2f(a) - u2f(b))
 	case isa.OpFMUL:
-		return f2u(u2f(a) * u2f(b))
+		return canonNaN(u2f(a) * u2f(b))
 	case isa.OpFDIV:
-		return f2u(u2f(a) / u2f(b))
+		return canonNaN(u2f(a) / u2f(b))
 	case isa.OpFSQRT:
-		return f2u(math.Sqrt(u2f(a)))
+		return canonNaN(math.Sqrt(u2f(a)))
 	case isa.OpFNEG:
 		return f2u(-u2f(a))
 	case isa.OpFCMPEQ:
@@ -314,13 +314,42 @@ func alu(op isa.Opcode, a, b, old uint64) uint64 {
 	case isa.OpCVTIF:
 		return f2u(float64(int64(a)))
 	case isa.OpCVTFI:
+		// Out-of-range float→int conversion is implementation-defined in
+		// Go (amd64 yields MinInt64 for every overflow, arm64 saturates),
+		// so the architectural result must be pinned explicitly: NaN
+		// converts to 0, everything else saturates. math.MaxInt64 rounds
+		// up to 2^63 as a float64, so f >= math.MaxInt64 is exactly the
+		// positive out-of-range set.
 		f := u2f(a)
-		if math.IsNaN(f) {
+		switch {
+		case math.IsNaN(f):
 			return 0
+		case f >= math.MaxInt64:
+			return math.MaxInt64 // 0x7FFF…, saturated positive
+		case f < math.MinInt64:
+			return 1 << 63 // int64 MinInt64 bit pattern, saturated negative
 		}
 		return uint64(int64(f))
 	}
 	return 0
+}
+
+// canonicalNaN is the single quiet-NaN bit pattern every floating-point
+// operation that produces a NaN yields. Hardware disagrees on generated
+// NaNs — amd64 SSE returns the negative "indefinite" 0xFFF8… for Inf-Inf
+// while arm64 returns positive 0x7FF8… — and the difference would leak
+// into stored values, making final memory images host-dependent and
+// breaking the cross-machine bit-identical invariant that remote execution
+// (X-Braid-Stats-SHA256) and internal/check rely on.
+const canonicalNaN = 0x7FF8000000000000
+
+// canonNaN pins a generated-NaN result to the canonical bit pattern;
+// non-NaN values pass through untouched.
+func canonNaN(f float64) uint64 {
+	if math.IsNaN(f) {
+		return canonicalNaN
+	}
+	return f2u(f)
 }
 
 func boolVal(b bool) uint64 {

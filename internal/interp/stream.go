@@ -1,0 +1,42 @@
+package interp
+
+import "braid/internal/isa"
+
+// Stream is the exported step-stream: a pull-based iterator over one
+// program execution that yields every instruction's architectural effects
+// in order. It exists for lockstep consumers — internal/check drives one
+// Stream per simulated core and compares each uarch retire event against
+// the StepInfo the reference interpreter produced for the same dynamic
+// position — but is equally usable for trace export.
+type Stream struct {
+	M *Machine // the underlying machine; final state readable after EOF
+
+	info  StepInfo
+	limit uint64
+}
+
+// NewStream builds a stream over p with a step budget: Next returns
+// ErrMaxSteps once maxSteps instructions have executed without a HALT.
+func NewStream(p *isa.Program, maxSteps uint64) *Stream {
+	return &Stream{M: New(p), limit: maxSteps}
+}
+
+// Next executes one instruction and returns its effects. The returned
+// StepInfo is valid until the following call. After HALT retires it
+// returns (nil, nil); the machine's final state is then available via
+// s.M.Final().
+func (s *Stream) Next() (*StepInfo, error) {
+	if s.M.Halted {
+		return nil, nil
+	}
+	if s.M.Steps >= s.limit {
+		return nil, ErrMaxSteps
+	}
+	if err := s.M.Step(&s.info); err != nil {
+		return nil, err
+	}
+	return &s.info, nil
+}
+
+// Done reports whether the program has halted.
+func (s *Stream) Done() bool { return s.M.Halted }

@@ -263,6 +263,33 @@ func TestProgramValidate(t *testing.T) {
 	if err := noHalt.Validate(); err == nil {
 		t.Error("program without halt accepted")
 	}
+
+	// CVTFI is FP-class but produces an integer: its destination is in the
+	// integer bank. The generic "fp op writes integer register" rule used
+	// to reject this, making float→int conversion unusable in any
+	// validated program.
+	cvtfi := &Program{
+		Name: "cvtfi",
+		Instrs: []Instruction{
+			{Op: OpCVTIF, Dest: RegF0, Src1: 1},
+			{Op: OpCVTFI, Dest: 2, Src1: RegF0},
+			{Op: OpHALT},
+		},
+	}
+	if err := cvtfi.Validate(); err != nil {
+		t.Errorf("cvtfi with integer destination rejected: %v", err)
+	}
+	badCvtfi := cvtfi.Clone()
+	badCvtfi.Instrs[1].Dest = RegF0 + 1
+	if err := badCvtfi.Validate(); err == nil {
+		t.Error("cvtfi writing an fp register accepted")
+	}
+
+	badFP := cvtfi.Clone()
+	badFP.Instrs[0] = Instruction{Op: OpFADD, Dest: 3, Src1: RegF0, Src2: RegF0}
+	if err := badFP.Validate(); err == nil {
+		t.Error("fp op writing integer register accepted")
+	}
 }
 
 func TestProgramEncodeDecodeAll(t *testing.T) {

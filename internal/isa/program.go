@@ -67,7 +67,14 @@ func (p *Program) Validate() error {
 		info := in.Info()
 		// Register-bank checks: FP ops use f registers for data
 		// operands; memory addressing always uses integer registers.
-		if info.FP && info.HasDest && !in.IDest && !in.Dest.IsFP() {
+		// CVTFI is the one FP-class op whose result is an integer, so its
+		// destination lives in the integer bank — without this carve-out
+		// no assembled program could use float→int conversion at all.
+		if in.Op == OpCVTFI {
+			if !in.IDest && in.Dest.IsFP() {
+				return fmt.Errorf("program %q instr %d (%s): cvtfi writes fp register", p.Name, i, in)
+			}
+		} else if info.FP && info.HasDest && !in.IDest && !in.Dest.IsFP() {
 			return fmt.Errorf("program %q instr %d (%s): fp op writes integer register", p.Name, i, in)
 		}
 	}

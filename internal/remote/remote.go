@@ -432,20 +432,28 @@ func encodeRequest(prog *isa.Program, cfg uarch.Config, timeoutMS int64, sp uarc
 // pool's observed p95 latency. Identical concurrent requests coalesce on the
 // server, so even a same-backend hedge costs a queue slot, not a simulation.
 func (p *Pool) runHedged(ctx context.Context, key string, body []byte, cands []int) (*Result, error) {
-	hctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	// Each side gets its own cancelable context so the losing request is
+	// torn down the moment the other side wins — not when this function
+	// happens to return. A hedged in-flight request holds a real queue
+	// slot (and, once admitted, a worker) on its backend; leaving it to
+	// run to completion after the race is decided inflates workers_busy
+	// and queue depth across the fleet for the full simulation time.
 	type out struct {
 		res *Result
 		err error
 		idx int
 	}
+	attemptCtx := [2]context.Context{}
+	attemptCancel := [2]context.CancelFunc{}
+	attemptCtx[0], attemptCancel[0] = context.WithCancel(ctx)
+	defer attemptCancel[0]()
 	ch := make(chan out, 2)
 	primaryAttempts := p.opt.MaxAttempts - 1
 	if primaryAttempts < 1 {
 		primaryAttempts = 1
 	}
 	go func() {
-		r, err := p.runAttempts(hctx, key, body, cands, primaryAttempts)
+		r, err := p.runAttempts(attemptCtx[0], key, body, cands, primaryAttempts)
 		ch <- out{r, err, 0}
 	}()
 	timer := time.NewTimer(p.hedgeDelay())
@@ -461,6 +469,10 @@ func (p *Pool) runHedged(ctx context.Context, key string, body []byte, cands []i
 					o.res.Hedged = true
 					p.hedgeWins.Add(1)
 				}
+				// Cancel the loser explicitly before returning the win.
+				if c := attemptCancel[1-o.idx]; c != nil {
+					c()
+				}
 				return o.res, nil
 			}
 			if firstErr == nil || o.idx == 0 {
@@ -475,8 +487,10 @@ func (p *Pool) runHedged(ctx context.Context, key string, body []byte, cands []i
 				p.hedges.Add(1)
 				rotated := append(append([]int(nil), cands[1:]...), cands[0])
 				inflight++
+				attemptCtx[1], attemptCancel[1] = context.WithCancel(ctx)
+				defer attemptCancel[1]()
 				go func() {
-					r, err := p.runAttempts(hctx, key, body, rotated, 1)
+					r, err := p.runAttempts(attemptCtx[1], key, body, rotated, 1)
 					ch <- out{r, err, 1}
 				}()
 			}

@@ -1,10 +1,12 @@
 package remote
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -437,5 +439,188 @@ func TestRemoteMatchesLocalBitForBit(t *testing.T) {
 		if string(want) != string(res.RawStats) {
 			t.Errorf("%s: remote stats differ:\n remote: %s\n  local: %s", cfg.Core, res.RawStats, want)
 		}
+	}
+}
+
+// TestHedgeCancelsLoser: when the hedge wins, the primary's in-flight HTTP
+// request must be torn down immediately — its per-attempt context is
+// canceled the moment the winner returns, not whenever the pool next feels
+// like it. The slow backend blocks until its request context dies and
+// reports how long that took.
+func TestHedgeCancelsLoser(t *testing.T) {
+	cancelled := make(chan struct{}, 1)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		// Drain the body: the server only watches for client disconnect
+		// (which is what cancels r.Context) once the handler has consumed
+		// the request. The real braidd handler decodes the body up front.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		select {
+		case cancelled <- struct{}{}:
+		default:
+		}
+	}))
+	defer slow.Close()
+	st, _ := json.Marshal(&uarch.Stats{Cycles: 100, Retired: 200})
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"stats":%s,"source":"run"}`, st)
+	}))
+	defer fast.Close()
+
+	pool, err := NewPool(Options{
+		Backends: []string{slow.URL, fast.URL}, Hedge: true, MaxAttempts: 2,
+		HedgeFloor: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-fill the latency window so hedgeDelay is the floor, not the
+	// conservative 250ms cold-start delay.
+	pool.latMu.Lock()
+	for i := range pool.latMS[:32] {
+		pool.latMS[i] = 1
+	}
+	pool.latN = 32
+	pool.latMu.Unlock()
+
+	body, key, err := encodeRequest(mustKernel(t, "dot"), uarch.OutOfOrderConfig(8), 0, uarch.Sampling{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.runHedged(context.Background(), key, body, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged {
+		t.Error("fast hedge should have won against a wedged primary")
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(3 * time.Second):
+		t.Fatal("losing primary request was not canceled after the hedge won")
+	}
+	if s := pool.Snapshot(); s.Hedges < 1 || s.HedgeWins < 1 {
+		t.Errorf("hedge counters: %d hedges, %d wins; want >= 1 each", s.Hedges, s.HedgeWins)
+	}
+}
+
+// TestHedgedLoserFreesWorker: a hedged burst must not inflate workers_busy
+// on the losing backend. The cold backend starts a multi-second simulation;
+// the hedge lands on a backend whose cache already holds the point and wins
+// in microseconds. Without loser cancellation the cold backend's worker
+// stays busy for the entire simulation; with it, workers_busy and
+// queue_depth drain to zero almost immediately.
+func TestHedgedLoserFreesWorker(t *testing.T) {
+	prof, ok := workload.ProfileByName("gcc")
+	if !ok {
+		t.Fatal("gcc profile missing")
+	}
+	// Calibrate the program so one exact simulation takes ~2.5s: long
+	// enough that a leaked worker is unambiguous against the 1.2s drain
+	// deadline below, short enough to keep the test quick.
+	const calIters = 2000
+	p, err := workload.Generate(prof, calIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.OutOfOrderConfig(8)
+	t0 := time.Now()
+	if _, err := uarch.SimulateChecked(context.Background(), p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	per := time.Since(t0)
+	iters := int(float64(calIters) * float64(2500*time.Millisecond) / float64(per))
+	if iters < calIters {
+		iters = calIters
+	}
+	if iters > isa.ImmMax {
+		iters = isa.ImmMax
+	}
+	p, err = workload.Generate(prof, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backends := [2]*httptest.Server{
+		httptest.NewServer(service.New(service.Config{Workers: 2}).Handler()),
+		httptest.NewServer(service.New(service.Config{Workers: 2}).Handler()),
+	}
+	defer backends[0].Close()
+	defer backends[1].Close()
+
+	pool, err := NewPool(Options{
+		Backends: []string{backends[0].URL, backends[1].URL}, Hedge: true,
+		MaxAttempts: 2, HedgeFloor: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.latMu.Lock()
+	for i := range pool.latMS[:32] {
+		pool.latMS[i] = 1
+	}
+	pool.latN = 32
+	pool.latMu.Unlock()
+
+	// The ring decides which backend is primary for this point; pre-warm
+	// the OTHER backend's cache so the hedge wins instantly while the
+	// primary is still deep inside the long simulation.
+	body, key, err := encodeRequest(p, cfg, 0, uarch.Sampling{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := pool.ring.candidates(key)
+	cold, warm := backends[cands[0]], backends[cands[1]]
+	resp, err := http.Post(warm.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-warm status %d", resp.StatusCode)
+	}
+
+	start := time.Now()
+	res, err := pool.SimulateFull(context.Background(), p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged {
+		t.Fatalf("expected the warm-cache hedge to win (took %s)", time.Since(start))
+	}
+
+	// The losing simulation still has seconds of work left; its worker
+	// must be released well before that.
+	deadline := time.Now().Add(1200 * time.Millisecond)
+	for {
+		resp, err := http.Get(cold.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		derr := json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		busy, _ := m["workers_busy"].(float64)
+		depth, _ := m["queue_depth"].(float64)
+		if busy == 0 && depth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("losing backend still has workers_busy=%v queue_depth=%v after the hedge won — hedged loser was not canceled", busy, depth)
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 }

@@ -136,6 +136,13 @@ type latencyHist struct {
 	sumUS   float64
 	maxUS   float64
 	buckets [27]uint64
+	// overflow counts observations beyond the last bucket (≥ ~67s).
+	// Folding them into the top bucket would make any quantile that lands
+	// there report the bucket's 67s upper bound no matter how slow the
+	// requests actually were — a silent under-report exactly when latency
+	// is at its worst. Kept separate, such quantiles fall through to the
+	// observed maximum instead.
+	overflow uint64
 }
 
 func (h *latencyHist) observe(d time.Duration) {
@@ -144,16 +151,17 @@ func (h *latencyHist) observe(d time.Duration) {
 		us = 0
 	}
 	b := bits.Len64(uint64(us)) // 2^(b-1) <= us < 2^b
-	if b >= len(h.buckets) {
-		b = len(h.buckets) - 1
-	}
 	h.mu.Lock()
 	h.count++
 	h.sumUS += float64(us)
 	if float64(us) > h.maxUS {
 		h.maxUS = float64(us)
 	}
-	h.buckets[b]++
+	if b >= len(h.buckets) {
+		h.overflow++
+	} else {
+		h.buckets[b]++
+	}
 	h.mu.Unlock()
 }
 
@@ -177,6 +185,8 @@ func (h *latencyHist) quantileLocked(q float64) float64 {
 			return upperUS / 1e3
 		}
 	}
+	// The quantile falls among the overflow observations; the observed
+	// maximum is the only honest upper bound left.
 	return h.maxUS / 1e3
 }
 
@@ -188,11 +198,12 @@ func (h *latencyHist) snapshot() map[string]any {
 		mean = h.sumUS / float64(h.count) / 1e3
 	}
 	return map[string]any{
-		"count":   h.count,
-		"mean_ms": mean,
-		"p50_ms":  h.quantileLocked(0.50),
-		"p90_ms":  h.quantileLocked(0.90),
-		"p99_ms":  h.quantileLocked(0.99),
-		"max_ms":  h.maxUS / 1e3,
+		"count":    h.count,
+		"mean_ms":  mean,
+		"p50_ms":   h.quantileLocked(0.50),
+		"p90_ms":   h.quantileLocked(0.90),
+		"p99_ms":   h.quantileLocked(0.99),
+		"max_ms":   h.maxUS / 1e3,
+		"overflow": h.overflow,
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -713,6 +714,41 @@ func TestLatencyHistQuantiles(t *testing.T) {
 	if max := snap["max_ms"].(float64); max < 499 {
 		t.Errorf("max = %v ms, want ~500", max)
 	}
+	if ov := snap["overflow"].(uint64); ov != 0 {
+		t.Errorf("overflow = %d, want 0 for sub-bucket-range samples", ov)
+	}
+}
+
+// TestLatencyHistOverflowHonest: observations beyond the histogram's ~67s
+// bucket range must not be clamped into the top bucket — that silently caps
+// every quantile at 67s precisely when the service is at its slowest.
+// Quantiles landing in the overflow region report the observed maximum, and
+// the overflow count is exported.
+func TestLatencyHistOverflowHonest(t *testing.T) {
+	h := &latencyHist{}
+	for i := 0; i < 10; i++ {
+		h.observe(1 * time.Millisecond)
+	}
+	for i := 0; i < 90; i++ {
+		h.observe(120 * time.Second) // far past the 2^26µs ≈ 67s bucket ceiling
+	}
+	snap := h.snapshot()
+	if ov := snap["overflow"].(uint64); ov != 90 {
+		t.Errorf("overflow = %d, want 90", ov)
+	}
+	const wantMS = 120 * 1000
+	for _, q := range []string{"p50_ms", "p99_ms"} {
+		if got := snap[q].(float64); got < wantMS {
+			t.Errorf("%s = %v ms, want %v (quantile is among the 120s observations; 67s would be a silent under-report)",
+				q, got, wantMS)
+		}
+	}
+	if p50 := h.quantileLocked(0.10); p50 > 2.1 {
+		t.Errorf("p10 = %v ms, want ~1-2 (the fast samples still resolve normally)", p50)
+	}
+	if cnt := snap["count"].(uint64); cnt != 100 {
+		t.Errorf("count = %d, want 100", cnt)
+	}
 }
 
 // TestSampledRequest: a sampled request returns a sampling block whose
@@ -799,5 +835,75 @@ func TestSampledRequest(t *testing.T) {
 	}
 	if mips, _ := m["simulated_mips"].(float64); mips <= 0 {
 		t.Errorf("simulated_mips = %v, want > 0", m["simulated_mips"])
+	}
+}
+
+// TestSampledSingleIntervalFiniteCI: a geometry that yields exactly one
+// measured interval must still produce a well-formed response with a finite
+// ipc_rel_ci95. The CI estimator divides by len(intervals)-1; without the
+// n<2 guard the NaN would reach json.Marshal, which rejects NaN outright —
+// turning a legal request into a 500 with an empty body.
+func TestSampledSingleIntervalFiniteCI(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Learn the point's dynamic length from an exact run, then pick
+	// Period = n-1: the program is one instruction longer than a period
+	// (so it does not fall back to exact mode), the first interval is the
+	// only measured one, and the second starts with a single instruction
+	// left — inside its warm-up, so it never contributes a CPI sample.
+	exact := `{"workload":"gcc","iters":500,"core":"ooo","width":8}`
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", exact)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact run status %d: %s", resp.StatusCode, data)
+	}
+	var ex struct {
+		Stats struct {
+			Retired uint64 `json:"Retired"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(data, &ex); err != nil {
+		t.Fatal(err)
+	}
+	n := ex.Stats.Retired
+	if n < 1000 {
+		t.Fatalf("gcc/500 retired only %d instructions; test geometry needs more", n)
+	}
+
+	body := fmt.Sprintf(
+		`{"workload":"gcc","iters":500,"core":"ooo","width":8,"sampling":{"period":%d,"detail":%d,"warmup":16}}`,
+		n-1, n/4)
+	resp, data = postJSON(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-interval sampled run status %d: %s", resp.StatusCode, data)
+	}
+	var sp struct {
+		IPC      float64 `json:"ipc"`
+		Sampling *struct {
+			Estimate *uarch.SampleEstimate `json:"estimate"`
+		} `json:"sampling"`
+	}
+	if err := json.Unmarshal(data, &sp); err != nil {
+		t.Fatalf("response is not valid JSON: %v\n%s", err, data)
+	}
+	if sp.Sampling == nil || sp.Sampling.Estimate == nil {
+		t.Fatalf("missing sampling estimate: %s", data)
+	}
+	est := sp.Sampling.Estimate
+	if est.Exact {
+		t.Fatalf("fell back to exact mode: %+v", est)
+	}
+	if est.Intervals != 1 {
+		t.Fatalf("got %d measured intervals, want exactly 1 (geometry drifted): %+v", est.Intervals, est)
+	}
+	if math.IsNaN(est.IPCRelCI) || math.IsInf(est.IPCRelCI, 0) {
+		t.Errorf("ipc_rel_ci95 = %v, want finite", est.IPCRelCI)
+	}
+	if math.IsNaN(est.CPI) || est.CPI <= 0 {
+		t.Errorf("cpi = %v, want positive and finite", est.CPI)
+	}
+	if sp.IPC <= 0 {
+		t.Errorf("ipc = %v, want > 0", sp.IPC)
 	}
 }

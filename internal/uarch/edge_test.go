@@ -1,0 +1,166 @@
+package uarch
+
+import (
+	"testing"
+
+	"braid/internal/asm"
+	"braid/internal/braid"
+	"braid/internal/interp"
+	"braid/internal/isa"
+)
+
+// Edge-value programs: each stores its results to the data segment so the
+// values are architecturally observable, then the test pins the interpreter's
+// memory image to hand-computed constants and runs every core paradigm (plus
+// the braided translation) over the same program. The cores replay the
+// interpreter's trace, so what this guards is the whole pipeline's ability to
+// carry these bit patterns — canonical NaNs, signed zeros, saturated
+// conversions, masked shifts — through rename, bypass, and retire without
+// faulting or diverging from the oracle's retired-instruction stream.
+const edgeFloatSrc = `
+.name floatedge
+.data 256
+	ldimm r1, #65536      ; data base
+	ldimm r2, #1
+	cvtif f0, r31         ; 0.0
+	cvtif f1, r2          ; 1.0
+	fdiv  f2, f1, f0      ; +Inf
+	fdiv  f3, f0, f0      ; 0/0 = canonical NaN
+	fsub  f4, f2, f2      ; Inf-Inf = canonical NaN
+	fneg  f5, f0          ; -0.0
+	fadd  f6, f0, f5      ; +0 + -0 = +0
+	fcmpeq f7, f3, f3     ; NaN == NaN = 0.0
+	fcmple f8, f5, f0     ; -0 <= +0 = 1.0
+	cvtfi r3, f2          ; +Inf saturates to MaxInt64
+	cvtfi r4, f3          ; NaN converts to 0
+	fneg  f9, f2          ; -Inf
+	cvtfi r5, f9          ; -Inf saturates to MinInt64
+	stf   f3, 0(r1)
+	stf   f4, 8(r1)
+	stf   f5, 16(r1)
+	stf   f6, 24(r1)
+	stf   f7, 32(r1)
+	stf   f8, 40(r1)
+	stq   r3, 48(r1)
+	stq   r4, 56(r1)
+	stq   r5, 64(r1)
+	halt
+`
+
+const edgeIntSrc = `
+.name intedge
+.data 256
+	ldimm r1, #65536      ; data base
+	ldimm r2, #1
+	sll   r9, r2, #63     ; MinInt64 bit pattern
+	ldimm r10, #63
+	ldimm r11, #64
+	ldimm r12, #65
+	sll   r13, r2, r11    ; shift count 64 masks to 0
+	sll   r14, r2, r12    ; shift count 65 masks to 1
+	sra   r15, r9, r10    ; sign fill: -1
+	srl   r16, r9, r10    ; logical: 1
+	cmplt r17, r9, r31    ; min <s 0 = 1
+	cmpult r18, r9, r31   ; min <u 0 = 0
+	cmpult r19, r31, r9   ; 0 <u min = 1
+	ldimm r20, #21
+	add   r20, r20, r20   ; self-overwrite: 42
+	ldimm r22, #7
+	cmoveq r21, r21, r20  ; r21==0, cond is dest: moves 42
+	cmoveq r22, r22, r20  ; r22!=0, cond is dest: keeps 7
+	stq   r13, 0(r1)
+	stq   r14, 8(r1)
+	stq   r15, 16(r1)
+	stq   r16, 24(r1)
+	stq   r17, 32(r1)
+	stq   r18, 40(r1)
+	stq   r19, 48(r1)
+	stq   r20, 56(r1)
+	stq   r21, 64(r1)
+	stq   r22, 72(r1)
+	halt
+`
+
+func TestEdgeValueProgramsAcrossCores(t *testing.T) {
+	const canonicalNaN = 0x7FF8000000000000
+	progs := []struct {
+		src  string
+		want map[uint64]uint64 // data-segment offset -> stored value
+	}{
+		{edgeFloatSrc, map[uint64]uint64{
+			0:  canonicalNaN,       // 0/0
+			8:  canonicalNaN,       // Inf-Inf, payload-independent
+			16: 1 << 63,            // -0.0
+			24: 0,                  // +0 + -0 is +0, bit-exact
+			32: 0,                  // NaN==NaN is 0.0
+			40: 0x3FF0000000000000, // -0 <= +0 is 1.0
+			48: 0x7FFFFFFFFFFFFFFF, // cvtfi(+Inf) saturates
+			56: 0,                  // cvtfi(NaN)
+			64: 1 << 63,            // cvtfi(-Inf) saturates
+		}},
+		{edgeIntSrc, map[uint64]uint64{
+			0:  1,          // 1 << (64&63)
+			8:  2,          // 1 << (65&63)
+			16: ^uint64(0), // min >>s 63
+			24: 1,          // min >>u 63
+			32: 1,          // min <s 0
+			40: 0,          // min <u 0
+			48: 1,          // 0 <u min
+			56: 42,         // add r20, r20, r20
+			64: 42,         // cmoveq moved (zero self-cond)
+			72: 7,          // cmoveq kept (nonzero self-cond)
+		}},
+	}
+	for _, pc := range progs {
+		p, err := asm.Parse(pc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(p.Name, func(t *testing.T) {
+			// Pin the oracle itself first: if the interpreter's value
+			// semantics drift, the cross-core comparison below would only
+			// confirm a consistently wrong answer.
+			m := interp.New(p)
+			if _, err := m.Run(100000, nil); err != nil {
+				t.Fatal(err)
+			}
+			for off, want := range pc.want {
+				if got := m.Mem.Read64(isa.DataBase + off); got != want {
+					t.Errorf("mem[base+%d] = %#x, want %#x", off, got, want)
+				}
+			}
+
+			res, err := braid.Compile(p, braid.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cases := []struct {
+				name string
+				p    *isa.Program
+				cfg  Config
+			}{
+				{"inorder", p, InOrderConfig(8)},
+				{"depsteer", p, DepSteerConfig(8)},
+				{"ooo", p, OutOfOrderConfig(8)},
+				{"braid", res.Prog, BraidConfig(8)},
+			}
+			for _, c := range cases {
+				simulate(t, c.p, c.cfg) // retires lockstep with the oracle, Paranoid on
+			}
+
+			// The braided translation must leave the same memory image.
+			bm := interp.New(res.Prog)
+			if _, err := bm.Run(100000, nil); err != nil {
+				t.Fatal(err)
+			}
+			if m.Mem.Hash() != bm.Mem.Hash() {
+				t.Error("braided program's memory image differs from original")
+			}
+			for off, want := range pc.want {
+				if got := bm.Mem.Read64(isa.DataBase + off); got != want {
+					t.Errorf("braided mem[base+%d] = %#x, want %#x", off, got, want)
+				}
+			}
+		})
+	}
+}

@@ -143,6 +143,8 @@ type Machine struct {
 	konataMax   int
 	konataCount int
 
+	retireHook func(RetireEvent) // differential checking; see retirehook.go
+
 	// writeErr latches the first trace/Konata write failure. Later log
 	// output is suppressed and RunContext surfaces the error when the run
 	// finishes, so a broken sink (full disk, closed pipe) cannot silently
@@ -561,6 +563,20 @@ func (m *Machine) retire(t uint64) {
 		}
 		if m.konata != nil {
 			m.konataRetire(d, t)
+		}
+		if m.retireHook != nil {
+			m.retireHook(RetireEvent{
+				Seq:          d.seq,
+				Index:        d.idx,
+				Cycle:        t,
+				Addr:         d.addr,
+				MemBytes:     d.memBytes,
+				Taken:        d.taken,
+				Mispredicted: d.mispredicted,
+				IsLoad:       d.isLoad,
+				IsStore:      d.isStore,
+				IsBranch:     d.isBranch,
+			})
 		}
 		m.rob.popFront()
 		m.stats.Retired++

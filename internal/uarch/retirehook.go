@@ -1,0 +1,27 @@
+package uarch
+
+// RetireEvent describes one instruction committing, in retirement (=
+// program) order. It is the differential-checking twin of the Konata hook:
+// internal/check replays an interp.Machine in lockstep against the stream
+// of events and faults on the first field that disagrees with the
+// functional reference, pinning the engine's retired work — order, branch
+// outcomes, memory addresses, access widths — to the architectural oracle
+// at single-instruction granularity.
+type RetireEvent struct {
+	Seq      uint64 // dynamic sequence number, 0-based fetch order
+	Index    int    // static instruction index in the program
+	Cycle    uint64 // retire cycle
+	Addr     uint64 // memory address (loads and stores)
+	MemBytes uint64 // access width in bytes (loads and stores)
+
+	Taken        bool // branch outcome
+	Mispredicted bool // branch left the machine on the recovery path
+
+	IsLoad, IsStore, IsBranch bool
+}
+
+// SetRetireHook registers fn, called synchronously for every retiring
+// instruction before Run returns. Call before Run. A nil hook (the
+// default) adds no per-retire work, and a non-nil hook observes timing
+// only — Stats are bit-identical with and without one.
+func (m *Machine) SetRetireHook(fn func(RetireEvent)) { m.retireHook = fn }

@@ -443,7 +443,14 @@ func relCI95(cpis []float64, cpiHat float64) float64 {
 		varSum += d * d
 	}
 	se := math.Sqrt(varSum / float64(n-1) / float64(n))
-	return 1.96 * se / cpiHat
+	ci := 1.96 * se / cpiHat
+	if math.IsNaN(ci) || math.IsInf(ci, 0) {
+		// Estimates travel through JSON (json.Marshal rejects NaN/Inf
+		// outright, turning one degenerate interval geometry into a
+		// failed response), so never let a non-finite value escape.
+		return 0
+	}
+	return ci
 }
 
 // sampledCtxErr mirrors Machine.ctxErr for cancellation during functional

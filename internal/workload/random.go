@@ -71,16 +71,17 @@ func RandomProgram(seed int64) *isa.Program {
 					op = isa.OpCMOVEQ
 				}
 				g.emit(isa.Instruction{Op: op, Dest: reg(), Src1: reg(), Src2: reg()})
-			case k < 17: // load with a random alias class
-				// Bounded displacement keeps all accesses in one page.
+			case k < 17: // load with a random (but sound) alias class
+				cls, disp := aliasSlot(r)
 				g.emit(isa.Instruction{
 					Op: isa.OpLDQ, Dest: reg(), Src1: base,
-					Imm: int32(r.Intn(64)) * 8, AliasClass: uint8(r.Intn(4)),
+					Imm: disp, AliasClass: cls,
 				})
-			case k < 19: // store with a random alias class
+			case k < 19: // store with a random (but sound) alias class
+				cls, disp := aliasSlot(r)
 				g.emit(isa.Instruction{
 					Op: isa.OpSTQ, Src1: reg(), Src2: base,
-					Imm: int32(r.Intn(64)) * 8, AliasClass: uint8(r.Intn(4)),
+					Imm: disp, AliasClass: cls,
 				})
 			default: // single-cycle address arithmetic
 				g.emit(isa.Instruction{Op: isa.OpLDA, Dest: reg(), Src1: reg(),
@@ -120,6 +121,24 @@ func RandomProgram(seed int64) *isa.Program {
 		panic("workload: RandomProgram built an invalid program: " + err.Error())
 	}
 	return g.p
+}
+
+// aliasSlot picks an alias class and a displacement consistent with it.
+// Alias classes are a soundness promise to the braid compiler — accesses
+// with distinct nonzero classes are treated as provably disjoint and may be
+// reordered — so the generator must never attach different nonzero classes
+// to overlapping addresses. (An earlier version rolled class and address
+// independently; the differential harness shrank the resulting
+// miscompile to a two-store repro, see internal/check.) Classes 1..3 own
+// disjoint 128-byte partitions of the data page; class 0 ("unknown") may
+// roam the whole region, which keeps the compiler's conservative
+// memory-order splits exercised.
+func aliasSlot(r *rand.Rand) (cls uint8, disp int32) {
+	c := r.Intn(4)
+	if c == 0 {
+		return 0, int32(r.Intn(48)) * 8
+	}
+	return uint8(c), int32((c-1)*16+r.Intn(16)) * 8
 }
 
 func blockLabel(b int) string {
