@@ -68,6 +68,9 @@ func main() {
 			fatal(err)
 		}
 		p, cfg = prog, art.Config
+		if err := cfg.Validate(); err != nil {
+			fatal(fmt.Errorf("crash artifact carries an invalid configuration: %w", err))
+		}
 		fmt.Fprintf(os.Stderr, "braidsim: replaying %s (%s braided=%v), original fault at cycle %d: %s\n",
 			art.Bench, cfg.Core, art.Braided, art.Cycle, art.Panic)
 	} else {

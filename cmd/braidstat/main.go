@@ -19,7 +19,9 @@
 // braid) to its report; with -remote host1,host2 those simulations run on
 // braidd backends through the internal/remote pool (-hedge duplicates
 // stragglers, -remote-verify cross-checks a sample locally), producing
-// byte-identical output to local execution.
+// byte-identical output to local execution. -complexity adds the two
+// machines' hardware-cost totals (uarch.EstimateComplexity) beneath each
+// ipc line, quantifying the §5.1 complexity claim next to the speed it buys.
 package main
 
 import (
@@ -63,6 +65,7 @@ func main() {
 		fallback   = flag.String("fallback", "fail", "when every backend attempt fails: 'local' simulates in-process, 'fail' reports the error (needs -remote)")
 		probe      = flag.Duration("probe", 0, "background health-probe interval for the remote pool (needs -remote; 0: off)")
 		sample     = flag.String("sample", "", "interval sampling geometry period:detail[:warmup] for -ipc simulations; empty runs exact")
+		complexity = flag.Bool("complexity", false, "append each machine's hardware-cost estimate to the -ipc section (needs -ipc)")
 	)
 	flag.Parse()
 
@@ -110,9 +113,13 @@ func main() {
 		}
 	}
 
+	if *complexity && (!*ipc || *values) {
+		fatal(fmt.Errorf("-complexity needs -ipc (and is meaningless with -values)"))
+	}
+
 	switch {
 	case *suite:
-		characterizeSuite(ctx, *iters, *values, *jobs, *checkpoint, *resume, sim, sampling)
+		characterizeSuite(ctx, *iters, *values, *jobs, *checkpoint, *resume, sim, sampling, *complexity)
 	case *bench != "":
 		prof, ok := workload.ProfileByName(*bench)
 		if !ok {
@@ -122,13 +129,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		characterize(p, *values, sim)
+		characterize(p, *values, sim, *complexity)
 	case *kernel != "":
 		p, ok := workload.KernelByName(*kernel)
 		if !ok {
 			fatal(fmt.Errorf("unknown kernel %q", *kernel))
 		}
-		characterize(p, *values, sim)
+		characterize(p, *values, sim, *complexity)
 	default:
 		fatal(fmt.Errorf("need -bench, -kernel, or -suite"))
 	}
@@ -154,13 +161,14 @@ type statRecord struct {
 	ValuesOnly bool   `json:"values_only"`
 	IPC        bool   `json:"ipc,omitempty"`
 	Sampling   string `json:"sampling,omitempty"`
+	Complexity bool   `json:"complexity,omitempty"`
 	Report     string `json:"report"`
 }
 
 // loadStatCheckpoint returns the reports already finished, keyed by benchmark
 // name, skipping records whose parameters do not match. A torn final line —
 // a crash mid-append — is ignored.
-func loadStatCheckpoint(path string, iters int, valuesOnly, ipc bool, sampling string) (map[string]string, error) {
+func loadStatCheckpoint(path string, iters int, valuesOnly, ipc bool, sampling string, complexity bool) (map[string]string, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return map[string]string{}, nil
@@ -184,7 +192,7 @@ func loadStatCheckpoint(path string, iters int, valuesOnly, ipc bool, sampling s
 			}
 			return nil, fmt.Errorf("braidstat: corrupt checkpoint %s: %w", path, err)
 		}
-		if rec.Iters == iters && rec.ValuesOnly == valuesOnly && rec.IPC == ipc && rec.Sampling == sampling {
+		if rec.Iters == iters && rec.ValuesOnly == valuesOnly && rec.IPC == ipc && rec.Sampling == sampling && rec.Complexity == complexity {
 			done[rec.Name] = rec.Report
 		}
 	}
@@ -196,7 +204,7 @@ func loadStatCheckpoint(path string, iters int, valuesOnly, ipc bool, sampling s
 // panic while characterizing one benchmark is contained to that benchmark;
 // Ctrl-C stops workers from starting new benchmarks and exits without
 // printing a partial suite.
-func characterizeSuite(ctx context.Context, iters int, valuesOnly bool, jobs int, ckptPath string, resume bool, sim simFunc, sampling uarch.Sampling) {
+func characterizeSuite(ctx context.Context, iters int, valuesOnly bool, jobs int, ckptPath string, resume bool, sim simFunc, sampling uarch.Sampling, complexity bool) {
 	sampStr := ""
 	if sampling.Enabled() {
 		sampStr = sampling.String()
@@ -215,7 +223,7 @@ func characterizeSuite(ctx context.Context, iters int, valuesOnly bool, jobs int
 	var ckptMu sync.Mutex
 	if ckptPath != "" {
 		if resume {
-			done, err := loadStatCheckpoint(ckptPath, iters, valuesOnly, sim != nil, sampStr)
+			done, err := loadStatCheckpoint(ckptPath, iters, valuesOnly, sim != nil, sampStr, complexity)
 			if err != nil {
 				fatal(err)
 			}
@@ -251,9 +259,9 @@ func characterizeSuite(ctx context.Context, iters int, valuesOnly bool, jobs int
 					errs[i] = err
 					continue
 				}
-				reports[i], errs[i] = reportChecked(p, valuesOnly, sim)
+				reports[i], errs[i] = reportChecked(p, valuesOnly, sim, complexity)
 				if errs[i] == nil && ckpt != nil {
-					rec := statRecord{Name: profs[i].Name, Iters: iters, ValuesOnly: valuesOnly, IPC: sim != nil, Sampling: sampStr, Report: reports[i]}
+					rec := statRecord{Name: profs[i].Name, Iters: iters, ValuesOnly: valuesOnly, IPC: sim != nil, Sampling: sampStr, Complexity: complexity, Report: reports[i]}
 					if data, err := json.Marshal(&rec); err == nil {
 						ckptMu.Lock()
 						ckpt.Write(append(data, '\n')) // one write: a crash tears at most the last line
@@ -288,8 +296,8 @@ func characterizeSuite(ctx context.Context, iters int, valuesOnly bool, jobs int
 	}
 }
 
-func characterize(p *isa.Program, valuesOnly bool, sim simFunc) {
-	s, err := report(p, valuesOnly, sim)
+func characterize(p *isa.Program, valuesOnly bool, sim simFunc, complexity bool) {
+	s, err := report(p, valuesOnly, sim, complexity)
 	if err != nil {
 		fatal(err)
 	}
@@ -298,20 +306,20 @@ func characterize(p *isa.Program, valuesOnly bool, sim simFunc) {
 
 // reportChecked contains a panic in the characterization pipeline to the
 // benchmark that triggered it, so one bad program cannot kill the pool.
-func reportChecked(p *isa.Program, valuesOnly bool, sim simFunc) (s string, err error) {
+func reportChecked(p *isa.Program, valuesOnly bool, sim simFunc, complexity bool) (s string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s = ""
 			err = fmt.Errorf("characterization panic: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return report(p, valuesOnly, sim)
+	return report(p, valuesOnly, sim, complexity)
 }
 
 // report builds one program's characterization text (§1 values, control
 // flow, Tables 1-3 braid statistics, and with -ipc the simulated IPC of the
 // 8-wide out-of-order and braid machines).
-func report(p *isa.Program, valuesOnly bool, sim simFunc) (string, error) {
+func report(p *isa.Program, valuesOnly bool, sim simFunc, complexity bool) (string, error) {
 	var b strings.Builder
 	vs, err := interp.Characterize(p, 100_000_000)
 	if err != nil {
@@ -349,6 +357,11 @@ func report(p *isa.Program, valuesOnly bool, sim simFunc) (string, error) {
 		// annotate each estimate with its 95% confidence half-width.
 		fmt.Fprintf(&b, "ipc: o-o-o/8w %.4f%s  braid/8w %.4f%s\n",
 			ooo.IPC(), ciSuffix(oooEst), br.IPC(), ciSuffix(brEst))
+		if complexity {
+			co := uarch.EstimateComplexity(uarch.OutOfOrderConfig(8)).Total()
+			cb := uarch.EstimateComplexity(uarch.BraidConfig(8)).Total()
+			fmt.Fprintf(&b, "complexity: o-o-o/8w %.0f  braid/8w %.0f (%.1f%%)\n", co, cb, 100*cb/co)
+		}
 	}
 	return b.String(), nil
 }

@@ -1,0 +1,203 @@
+package explore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Meta pins the search parameters a checkpoint was taken under. Resume
+// refuses a mismatch: silently continuing a search with different
+// parameters would blend two different searches into one front.
+type Meta struct {
+	Lattice   int      `json:"lattice"` // latticeVersion the genomes index into
+	Seed      int64    `json:"seed"`
+	Pop       int      `json:"pop"`
+	Budget    int      `json:"budget"`
+	Workloads []string `json:"workloads"`
+	Sampling  string   `json:"sampling,omitempty"` // uarch.Sampling.String(), "" exact
+	DynTarget uint64   `json:"dyn_target"`         // suite calibration target
+	Inject    int      `json:"inject,omitempty"`   // test-hook fault position
+}
+
+// ckptLine is one JSONL record: exactly one of the kinds. The meta line is
+// first; each completed generation appends one gen line containing the
+// post-selection population (order significant — tournament selection reads
+// it positionally) and the evaluations that generation performed.
+type ckptLine struct {
+	Kind string `json:"kind"` // "meta" or "gen"
+
+	Meta *Meta `json:"meta,omitempty"`
+
+	Gen        int      `json:"gen,omitempty"`
+	Evals      int      `json:"evals,omitempty"` // cumulative unique evaluations
+	Population []Genome `json:"population,omitempty"`
+	Fresh      []Eval   `json:"fresh,omitempty"` // evaluations this generation ran
+}
+
+// Checkpoint is the append-only JSONL persistence for a search. One write
+// per completed generation keeps the torn-write window to a single line; a
+// torn final line (SIGKILL mid-append) is detected and dropped on load, so
+// resume restarts from the last complete generation.
+type Checkpoint struct {
+	f    *os.File
+	meta Meta
+	gens []ckptLine // complete generation records, ascending contiguous
+}
+
+// OpenCheckpoint opens path for a search with the given meta. With resume
+// false the file is created or truncated and the meta line written; with
+// resume true an existing file is loaded — its meta must equal meta — and
+// subsequent generations append after the ones already recorded. Resuming a
+// missing or empty file degrades to a fresh start.
+func OpenCheckpoint(path string, meta Meta, resume bool) (*Checkpoint, error) {
+	meta.Lattice = latticeVersion
+	if resume {
+		data, err := os.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+		if len(bytes.TrimSpace(data)) > 0 {
+			return loadCheckpoint(path, data, meta)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{f: f, meta: meta}
+	if err := ck.appendLine(ckptLine{Kind: "meta", Meta: &meta}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return ck, nil
+}
+
+func loadCheckpoint(path string, data []byte, want Meta) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	haveMeta := false
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	tail := bytes.TrimRight(data, " \t\r\n")
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var line ckptLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			if bytes.HasSuffix(tail, raw) {
+				break // torn final line from an interrupted append
+			}
+			return nil, fmt.Errorf("explore: corrupt checkpoint %s: %w", path, err)
+		}
+		switch line.Kind {
+		case "meta":
+			if haveMeta || len(ck.gens) > 0 {
+				return nil, fmt.Errorf("explore: checkpoint %s: duplicate or misplaced meta line", path)
+			}
+			if line.Meta == nil {
+				return nil, fmt.Errorf("explore: checkpoint %s: empty meta line", path)
+			}
+			haveMeta = true
+			m := *line.Meta
+			ck.meta = m
+			if !metaEqual(m, want) {
+				return nil, fmt.Errorf("explore: checkpoint %s was taken with different parameters\n  have: %s\n  want: %s\n(delete the file or rerun with matching flags)",
+					path, metaString(m), metaString(want))
+			}
+		case "gen":
+			if line.Gen != len(ck.gens) {
+				return nil, fmt.Errorf("explore: checkpoint %s: generation %d out of order (want %d)", path, line.Gen, len(ck.gens))
+			}
+			for _, g := range line.Population {
+				if !g.valid() {
+					return nil, fmt.Errorf("explore: checkpoint %s: generation %d holds a genome outside the lattice", path, line.Gen)
+				}
+			}
+			for _, e := range line.Fresh {
+				if !e.Genome.valid() {
+					return nil, fmt.Errorf("explore: checkpoint %s: generation %d evaluated a genome outside the lattice", path, line.Gen)
+				}
+			}
+			ck.gens = append(ck.gens, line)
+		default:
+			return nil, fmt.Errorf("explore: checkpoint %s: unknown record kind %q", path, line.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !haveMeta {
+		return nil, fmt.Errorf("explore: checkpoint %s has no meta line", path)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	ck.f = f
+	return ck, nil
+}
+
+func metaEqual(a, b Meta) bool {
+	if a.Lattice != b.Lattice || a.Seed != b.Seed || a.Pop != b.Pop ||
+		a.Budget != b.Budget || a.Sampling != b.Sampling ||
+		a.DynTarget != b.DynTarget || a.Inject != b.Inject ||
+		len(a.Workloads) != len(b.Workloads) {
+		return false
+	}
+	for i := range a.Workloads {
+		if a.Workloads[i] != b.Workloads[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func metaString(m Meta) string {
+	return fmt.Sprintf("lattice=%d seed=%d pop=%d budget=%d workloads=%v sampling=%q dyn=%d inject=%d",
+		m.Lattice, m.Seed, m.Pop, m.Budget, m.Workloads, m.Sampling, m.DynTarget, m.Inject)
+}
+
+// Generations reports how many complete generations the checkpoint holds.
+func (ck *Checkpoint) Generations() int { return len(ck.gens) }
+
+// appendGen records one completed generation: cumulative evaluation count,
+// the post-selection population, and the evaluations performed. One write
+// call, so a crash tears at most this line.
+func (ck *Checkpoint) appendGen(gen, evals int, population []Genome, fresh []Eval) error {
+	return ck.appendLine(ckptLine{Kind: "gen", Gen: gen, Evals: evals, Population: population, Fresh: fresh})
+}
+
+func (ck *Checkpoint) appendLine(line ckptLine) error {
+	data, err := json.Marshal(&line)
+	if err != nil {
+		return err
+	}
+	if _, err := ck.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return ck.f.Sync()
+}
+
+// Close releases the underlying file.
+func (ck *Checkpoint) Close() error { return ck.f.Close() }
+
+// restore seeds the searcher from a checkpoint's completed generations and
+// returns the next generation index to run. No simulation happens here: the
+// archive is rebuilt from recorded evaluations, so a resumed search only
+// pays for generations the original never finished. (Points the memo cache
+// would recompute identically anyway — both are deterministic — but resume
+// must not depend on the simulator at all.)
+func (s *searcher) restore(ck *Checkpoint) (int, error) {
+	for _, gen := range ck.gens {
+		for _, e := range gen.Fresh {
+			s.archiveEval(e)
+		}
+		s.pop = append([]Genome(nil), gen.Population...)
+		s.evals = gen.Evals
+	}
+	return len(ck.gens), nil
+}

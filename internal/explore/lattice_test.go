@@ -1,0 +1,102 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+
+	"braid/internal/uarch"
+)
+
+// TestLatticeAlwaysBuildsValidMachines: whatever the genetic operators do,
+// every representable genome must derive a Config that Validate accepts —
+// the search must be unable to construct a nonsense machine.
+func TestLatticeAlwaysBuildsValidMachines(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGenome(rng)
+	for i := 0; i < 2000; i++ {
+		switch i % 3 {
+		case 0:
+			g = randomGenome(rng)
+		case 1:
+			mutate(&g, rng)
+		case 2:
+			g = crossover(g, randomGenome(rng), rng)
+		}
+		cfg, err := g.Config()
+		if err != nil {
+			t.Fatalf("iteration %d: genome %s: %v", i, g, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("iteration %d: derived config invalid: %v", i, err)
+		}
+		if (cfg.Core == uarch.CoreBraid) != g.Braided() {
+			t.Fatalf("iteration %d: Braided()=%v but core %s", i, g.Braided(), cfg.Core)
+		}
+		if uarch.EstimateComplexity(cfg).Total() <= 0 {
+			t.Fatalf("iteration %d: nonpositive complexity", i)
+		}
+	}
+}
+
+// TestGenomeOutsideLatticeRejected: indices beyond the tables — a checkpoint
+// from a different lattice — are refused rather than crashing table lookups.
+func TestGenomeOutsideLatticeRejected(t *testing.T) {
+	g := Genome{Core: int8(len(Cores))}
+	if g.valid() {
+		t.Fatal("out-of-range core index accepted")
+	}
+	if _, err := g.Config(); err == nil {
+		t.Fatal("Config built from out-of-lattice genome")
+	}
+	g = Genome{ERF: -1}
+	if g.valid() {
+		t.Fatal("negative index accepted")
+	}
+}
+
+// TestMutateAlwaysChanges: a mutation that returns its input would burn a
+// cohort slot on a genome the archive already holds.
+func TestMutateAlwaysChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		g := randomGenome(rng)
+		before := g
+		mutate(&g, rng)
+		if g == before {
+			t.Fatalf("mutation %d returned its input %s", i, g)
+		}
+	}
+}
+
+// TestCanonicalMachinesRepresentable: the lattice must contain the paper's
+// design points, or the search could not rediscover them.
+func TestCanonicalMachinesRepresentable(t *testing.T) {
+	// braid/8: 8 BEUs, 32-entry FIFO, 2-entry window, 8-entry ERF with
+	// 6R/3W, 1-level bypass, 512/64 perceptron.
+	braid8 := Genome{Core: 2, Width: 2, Retire: 0, BEUs: 2, IQ: 2, Window: 1,
+		ERF: 1, RPorts: 2, WPorts: 2, Bypass: 0, PredEnt: 2, PredHist: 2}
+	cfg, err := braid8.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uarch.BraidConfig(8)
+	if cfg.Core != want.Core || cfg.BEUs != want.BEUs || cfg.BEUFIFO != want.BEUFIFO ||
+		cfg.BEUWindow != want.BEUWindow || cfg.RFEntries != want.RFEntries ||
+		cfg.RFReadPorts != want.RFReadPorts || cfg.RFWritePorts != want.RFWritePorts ||
+		cfg.BypassLevels != want.BypassLevels || cfg.TotalFUs != want.TotalFUs {
+		t.Errorf("braid/8 genome derived %+v, want the Table 4 machine", cfg)
+	}
+
+	// ooo/8: 32-entry schedulers, 256-entry RF with 16R/8W, 3-level bypass.
+	ooo8 := Genome{Core: 3, Width: 2, Retire: 0, IQ: 2,
+		ERF: 5, RPorts: 4, WPorts: 4, Bypass: 2, PredEnt: 2, PredHist: 2}
+	cfg, err = ooo8.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = uarch.OutOfOrderConfig(8)
+	if cfg.Core != want.Core || cfg.SchedEntries != want.SchedEntries ||
+		cfg.RFEntries != 128 || cfg.RFReadPorts != want.RFReadPorts {
+		t.Errorf("ooo/8-class genome derived %+v", cfg)
+	}
+}

@@ -439,6 +439,9 @@ func TestRemoteMatchesLocalBitForBit(t *testing.T) {
 		if string(want) != string(res.RawStats) {
 			t.Errorf("%s: remote stats differ:\n remote: %s\n  local: %s", cfg.Core, res.RawStats, want)
 		}
+		if wc := uarch.EstimateComplexity(cfg).Total(); res.Complexity != wc {
+			t.Errorf("%s: remote complexity %.0f, want %.0f", cfg.Core, res.Complexity, wc)
+		}
 	}
 }
 

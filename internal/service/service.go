@@ -139,17 +139,27 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 // exactly when the request asked for interval-sampled timing; exact
 // responses are byte-identical to the pre-sampling schema.
 type SimResponse struct {
-	Program     string        `json:"program"`
-	Core        string        `json:"core"`
-	Width       int           `json:"width"`
-	Braided     bool          `json:"braided"`
-	ProgramHash string        `json:"program_hash"`
-	ConfigHash  string        `json:"config_hash"`
-	IPC         float64       `json:"ipc"`
-	Stats       *uarch.Stats  `json:"stats"`
-	Sampling    *SampledBlock `json:"sampling,omitempty"`
-	Source      string        `json:"source"` // run, cache, or coalesced
-	SimMS       float64       `json:"sim_ms"` // leader's wall-clock simulation time
+	Program     string           `json:"program"`
+	Core        string           `json:"core"`
+	Width       int              `json:"width"`
+	Braided     bool             `json:"braided"`
+	ProgramHash string           `json:"program_hash"`
+	ConfigHash  string           `json:"config_hash"`
+	IPC         float64          `json:"ipc"`
+	Stats       *uarch.Stats     `json:"stats"`
+	Sampling    *SampledBlock    `json:"sampling,omitempty"`
+	Complexity  *ComplexityBlock `json:"complexity,omitempty"`
+	Source      string           `json:"source"` // run, cache, or coalesced
+	SimMS       float64          `json:"sim_ms"` // leader's wall-clock simulation time
+}
+
+// ComplexityBlock carries the hardware-cost estimate for the simulated
+// configuration (the §5.1 proxies of uarch.EstimateComplexity), so fleet
+// clients — braidstat's -complexity column, braidtune's Pareto search — can
+// rank configurations without re-deriving the model client-side.
+type ComplexityBlock struct {
+	uarch.Complexity
+	Total float64 `json:"total"`
 }
 
 // SampledBlock is the sampled-timing section of a SimResponse: the geometry
@@ -473,6 +483,8 @@ func (s *Server) response(b *Built, res *simResult) SimResponse {
 	if b.Sampling.Enabled() {
 		resp.Sampling = &SampledBlock{Geometry: b.Sampling, Estimate: res.est}
 	}
+	comp := uarch.EstimateComplexity(b.Config)
+	resp.Complexity = &ComplexityBlock{Complexity: comp, Total: comp.Total()}
 	return resp
 }
 

@@ -89,6 +89,50 @@ func TestSimulateMatchesDirectRun(t *testing.T) {
 	}
 }
 
+// TestSimulateComplexityBlock: every /v1/simulate success carries the
+// hardware-cost estimate for the exact configuration it simulated, matching a
+// client-side EstimateComplexity of the same build.
+func TestSimulateComplexityBlock(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for _, tc := range []string{
+		`{"workload":"gcc","iters":40,"core":"ooo","width":8}`,
+		`{"workload":"mcf","iters":40,"core":"braid","width":8}`,
+	} {
+		var req SimRequest
+		if err := json.Unmarshal([]byte(tc), &req); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(&req, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uarch.EstimateComplexity(b.Config)
+
+		resp, data := postJSON(t, ts.URL+"/v1/simulate", tc)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tc, resp.StatusCode, data)
+		}
+		var rr struct {
+			Complexity *ComplexityBlock `json:"complexity"`
+		}
+		if err := json.Unmarshal(data, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Complexity == nil {
+			t.Fatalf("%s: no complexity block in response", tc)
+		}
+		if rr.Complexity.Complexity != want {
+			t.Errorf("%s: served complexity %+v, want %+v", tc, rr.Complexity.Complexity, want)
+		}
+		if rr.Complexity.Total != want.Total() {
+			t.Errorf("%s: served total %.0f, want %.0f", tc, rr.Complexity.Total, want.Total())
+		}
+	}
+}
+
 // TestCacheServesRepeats: the second identical request is answered from the
 // LRU with the same bytes, and the hit shows up in /metrics.
 func TestCacheServesRepeats(t *testing.T) {

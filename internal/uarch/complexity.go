@@ -13,13 +13,13 @@ import (
 // with levels × values × consumers. The absolute units are arbitrary; the
 // ratios between machines are the point.
 type Complexity struct {
-	RFArea        float64 // external register file: bits × (R+W)²
-	InternalArea  float64 // BEU-internal register files, same proxy
-	SchedulerCAM  float64 // broadcast-match entries × tag comparisons
-	SchedulerFIFO float64 // FIFO entries (no broadcast)
-	BypassWires   float64 // levels × values/cycle × consuming inputs
-	RenamePorts   float64 // rename-table lookup/write ports
-	Checkpoint    float64 // registers captured per checkpoint
+	RFArea        float64 `json:"rf_area"`        // external register file: bits × (R+W)²
+	InternalArea  float64 `json:"internal_area"`  // BEU-internal register files, same proxy
+	SchedulerCAM  float64 `json:"scheduler_cam"`  // broadcast-match entries × tag comparisons
+	SchedulerFIFO float64 `json:"scheduler_fifo"` // FIFO entries (no broadcast)
+	BypassWires   float64 `json:"bypass_wires"`   // levels × values/cycle × consuming inputs
+	RenamePorts   float64 `json:"rename_ports"`   // rename-table lookup/write ports
+	Checkpoint    float64 `json:"checkpoint"`     // registers captured per checkpoint
 }
 
 // Total sums the proxies (unitless; for coarse comparisons only).

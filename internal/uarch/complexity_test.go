@@ -42,6 +42,53 @@ func TestComplexityOrdering(t *testing.T) {
 	}
 }
 
+// TestComplexityGolden pins EstimateComplexity to exact values for the four
+// canonical machines at widths 2/4/8. The design-space explorer ranks
+// configurations by these numbers, so any drift here silently reshapes every
+// Pareto front; a change to the proxies must update this table deliberately.
+func TestComplexityGolden(t *testing.T) {
+	cases := []struct {
+		core  string
+		width int
+		make  func(int) Config
+		want  float64
+	}{
+		{"in-order", 2, InOrderConfig, 147486},
+		{"in-order", 4, InOrderConfig, 1179756},
+		{"in-order", 8, InOrderConfig, 9437592},
+		{"dep-steer", 2, DepSteerConfig, 147566},
+		{"dep-steer", 4, DepSteerConfig, 1179916},
+		{"dep-steer", 8, DepSteerConfig, 9437912},
+		{"braid", 2, BraidConfig, 38101},
+		{"braid", 4, BraidConfig, 77994},
+		{"braid", 8, BraidConfig, 189268},
+		{"out-of-order", 2, OutOfOrderConfig, 147806},
+		{"out-of-order", 4, OutOfOrderConfig, 1180908},
+		{"out-of-order", 8, OutOfOrderConfig, 9441944},
+	}
+	for _, tc := range cases {
+		got := EstimateComplexity(tc.make(tc.width)).Total()
+		if got != tc.want {
+			t.Errorf("%s/%d total = %.0f, want %.0f", tc.core, tc.width, got, tc.want)
+		}
+	}
+
+	// Full component breakdown for the paper's two 8-wide machines.
+	ooo := EstimateComplexity(OutOfOrderConfig(8))
+	if ooo != (Complexity{RFArea: 9437184, SchedulerCAM: 4096, BypassWires: 384, RenamePorts: 24, Checkpoint: 256}) {
+		t.Errorf("out-of-order/8 breakdown drifted: %+v", ooo)
+	}
+	braid := EstimateComplexity(BraidConfig(8))
+	if braid != (Complexity{RFArea: 41472, InternalArea: 147456, SchedulerFIFO: 256, BypassWires: 64, RenamePorts: 12, Checkpoint: 8}) {
+		t.Errorf("braid/8 breakdown drifted: %+v", braid)
+	}
+	// §5.1's headline ratio: the braid execution core at ~2% of the
+	// out-of-order core's proxy area.
+	if r := braid.Total() / ooo.Total(); r < 0.015 || r > 0.025 {
+		t.Errorf("braid/ooo complexity ratio %.4f outside [0.015, 0.025]", r)
+	}
+}
+
 func TestComplexityReport(t *testing.T) {
 	r := ComplexityReport(8)
 	for _, want := range []string{"in-order", "braid", "out-of-order", "ext-RF-area", "%"} {

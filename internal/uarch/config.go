@@ -60,6 +60,13 @@ type Config struct {
 	MispredictMin int // minimum branch misprediction penalty in cycles
 	PerfectBP     bool
 
+	// Branch-predictor geometry (Table 4: a 512-entry perceptron weight
+	// table over 64 bits of global history). Zero fields take those
+	// defaults, so pre-existing configurations and their golden results
+	// are unchanged; the design-space explorer sweeps them explicitly.
+	PredEntries int // perceptron weight-table entries (0: 512)
+	PredHistory int // global history bits, at most 64 (0: 64)
+
 	// Execution resources.
 	IssueWidth  int
 	RetireWidth int // instructions committed per cycle (0: IssueWidth)
@@ -155,10 +162,25 @@ type Config struct {
 	Inject *FaultPlan `json:"-"`
 }
 
-// Validate checks internal consistency.
+// Validate checks internal consistency. Random search (internal/explore),
+// braidd request decoding, and braidsim -config replay all call it, so a
+// mutated or hand-written configuration cannot construct a nonsense machine
+// that the engine would mis-simulate or hang on.
 func (c *Config) Validate() error {
+	if c.Core < CoreInOrder || c.Core > CoreOutOfOrder {
+		return fmt.Errorf("uarch: unknown core kind %d", c.Core)
+	}
 	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.ROB <= 0 || c.TotalFUs <= 0 {
 		return fmt.Errorf("uarch: bad widths in config: %+v", c)
+	}
+	if c.FetchBranches <= 0 {
+		return fmt.Errorf("uarch: fetch must process at least one branch per cycle, got %d", c.FetchBranches)
+	}
+	if c.FrontDepth < 0 {
+		return fmt.Errorf("uarch: negative front-end depth %d", c.FrontDepth)
+	}
+	if c.AllocWidth <= 0 || c.RenameSrc <= 0 {
+		return fmt.Errorf("uarch: bad rename bandwidth (alloc %d, src %d)", c.AllocWidth, c.RenameSrc)
 	}
 	if c.RetireWidth < 0 {
 		return fmt.Errorf("uarch: negative retire width %d", c.RetireWidth)
@@ -169,8 +191,25 @@ func (c *Config) Validate() error {
 	if c.RFEntries <= 0 || c.RFReadPorts <= 0 || c.RFWritePorts <= 0 {
 		return fmt.Errorf("uarch: bad register file config")
 	}
+	if c.BypassLevels <= 0 || c.BypassValues <= 0 {
+		return fmt.Errorf("uarch: bad bypass network (%d levels x %d values)", c.BypassLevels, c.BypassValues)
+	}
+	if c.ExtWakeupExtra < 0 {
+		return fmt.Errorf("uarch: negative external wakeup delay %d", c.ExtWakeupExtra)
+	}
+	if c.PredEntries < 0 || c.PredHistory < 0 || c.PredHistory > 64 {
+		return fmt.Errorf("uarch: bad predictor geometry (%d entries, %d history bits)", c.PredEntries, c.PredHistory)
+	}
 	if c.MispredictMin < c.FrontDepth+2 {
 		return fmt.Errorf("uarch: misprediction penalty %d below front depth %d+2", c.MispredictMin, c.FrontDepth)
+	}
+	for _, l := range []int{c.LatIntALU, c.LatIntMul, c.LatIntDiv, c.LatFPAdd, c.LatFPMul, c.LatFPDiv, c.LatAGU} {
+		if l <= 0 {
+			return fmt.Errorf("uarch: operation latencies must be at least one cycle: %+v", c)
+		}
+	}
+	if c.Clusters < 0 || c.InterClusterDelay < 0 {
+		return fmt.Errorf("uarch: bad clustering (%d clusters, %d delay)", c.Clusters, c.InterClusterDelay)
 	}
 	switch c.Core {
 	case CoreOutOfOrder:

@@ -36,17 +36,28 @@ type frontend struct {
 	intOwner [isa.NumInternalRegs]*dyn
 }
 
-func newFrontend(p *isa.Program, cfg *Config) *frontend {
-	var pred bpred.Predictor
+// newPredictor builds the branch predictor a configuration asks for. The
+// geometry fields default to Table 4's 512-entry, 64-bit-history perceptron
+// when zero so canonical configurations keep their golden results.
+func newPredictor(cfg *Config) bpred.Predictor {
 	if cfg.PerfectBP {
-		pred = bpred.Perfect{}
-	} else {
-		pred = bpred.NewPerceptron(512, 64)
+		return bpred.Perfect{}
 	}
+	entries, hist := cfg.PredEntries, cfg.PredHistory
+	if entries == 0 {
+		entries = 512
+	}
+	if hist == 0 {
+		hist = 64
+	}
+	return bpred.NewPerceptron(entries, hist)
+}
+
+func newFrontend(p *isa.Program, cfg *Config) *frontend {
 	fe := &frontend{
 		prog: p,
 		meta: programMeta(p),
-		pred: pred,
+		pred: newPredictor(cfg),
 		// The fetch-to-dispatch buffer must cover the front end's
 		// bandwidth-delay product (instructions are in flight for
 		// FrontDepth cycles before dispatch) or it, rather than the

@@ -223,13 +223,7 @@ func runSampled(ctx context.Context, p *isa.Program, cfg Config, sp Sampling, tr
 	if err != nil {
 		return nil, nil, err
 	}
-	var pred bpred.Predictor
-	if cfg.PerfectBP {
-		pred = bpred.Perfect{}
-	} else {
-		pred = bpred.NewPerceptron(512, 64)
-	}
-	w := &warmer{meta: programMeta(p), hier: hier, pred: pred}
+	w := &warmer{meta: programMeta(p), hier: hier, pred: newPredictor(&cfg)}
 
 	n := uint64(len(tr))
 	var (
